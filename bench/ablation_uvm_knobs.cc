@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Ablation of UVM runtime knobs on BFS-TTC and PR: tree prefetcher
+ * on/off, fault-buffer capacity, interrupt dispatch latency, and
+ * eviction granularity (64 KB pages vs 2 MB root chunks).
+ */
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "src/core/experiment.h"
+#include "src/core/report.h"
+
+namespace
+{
+
+using namespace bauvm;
+
+void
+sweep(const char *title, const BenchOptions &opt,
+      const std::vector<std::pair<std::string,
+                                  std::function<void(SimConfig *)>>>
+          &variants)
+{
+    printBanner(title);
+    Table t({"variant", "BFS-TTC cycles", "PR cycles",
+             "BFS-TTC batches", "PR batches"});
+    for (const auto &[label, mutate] : variants) {
+        std::fprintf(stderr, "  %s ...\n", label.c_str());
+        SimConfig config = paperConfig(opt.ratio, opt.seed);
+        mutate(&config);
+        const RunResult bfs =
+            runWorkload(config, "BFS-TTC", opt.scale);
+        const RunResult pr = runWorkload(config, "PR", opt.scale);
+        t.addRow({label, std::to_string(bfs.cycles),
+                  std::to_string(pr.cycles),
+                  std::to_string(bfs.batches),
+                  std::to_string(pr.batches)});
+    }
+    t.emit(opt.csv);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace bauvm;
+    const BenchOptions opt = parseBenchArgs(argc, argv);
+
+    sweep("Ablation: prefetch policy", opt,
+          {{"tree prefetcher (baseline)", [](SimConfig *) {}},
+           {"sequential next-4",
+            [](SimConfig *c) {
+                c->uvm.sequential_prefetch_pages = 4;
+            }},
+           {"prefetch off", [](SimConfig *c) {
+                c->uvm.prefetch_enabled = false;
+            }}});
+
+    sweep("Ablation: fault buffer capacity", opt,
+          {{"1024 entries (Table 1)", [](SimConfig *) {}},
+           {"256 entries",
+            [](SimConfig *c) { c->uvm.fault_buffer_entries = 256; }},
+           {"64 entries",
+            [](SimConfig *c) { c->uvm.fault_buffer_entries = 64; }}});
+
+    sweep("Ablation: interrupt dispatch latency", opt,
+          {{"2us (default)", [](SimConfig *) {}},
+           {"0us",
+            [](SimConfig *c) { c->uvm.interrupt_latency_us = 0.0; }},
+           {"10us",
+            [](SimConfig *c) { c->uvm.interrupt_latency_us = 10.0; }}});
+
+    sweep("Ablation: eviction granularity", opt,
+          {{"64KB pages (default)", [](SimConfig *) {}},
+           {"2MB root chunks", [](SimConfig *c) {
+                c->uvm.root_chunk_pages = 32;
+            }}});
+    return 0;
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Figure 1: working-set fraction vs number of active GPU cores (SMs),
+ * for regular and irregular workloads.
+ *
+ * Methodology: the workload is executed functionally while collecting,
+ * per thread block, the set of pages it touches. The working set for k
+ * active SMs is the average (over consecutive windows) of the fraction
+ * of footprint pages touched by the k * blocks_per_sm thread blocks
+ * that would be co-resident — exactly the quantity memory-aware core
+ * throttling tries to shrink. Regular workloads partition their data by
+ * block, so the fraction scales with k; the graph workloads share the
+ * CSR arrays across every core, so the curve is flat and throttling
+ * cannot reduce the working set (the paper's argument against ETC's MT
+ * for irregular applications).
+ */
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/core/experiment.h"
+#include "src/core/report.h"
+#include "src/workloads/workload.h"
+
+namespace
+{
+
+using namespace bauvm;
+
+/** blocks co-resident per SM in the Table 1 machine (occupancy 4). */
+constexpr std::uint32_t kBlocksPerSm = 4;
+constexpr std::uint32_t kMaxSms = 16;
+
+std::vector<double>
+workingSetCurve(const std::string &name, WorkloadScale scale,
+                std::uint64_t seed)
+{
+    auto workload = makeWorkload(name);
+    workload->build(scale, seed);
+
+    // Collect page sets per block, functionally (no timing model).
+    // Block ids repeat across kernels; the union across kernels is
+    // what a block resident at that grid position touches.
+    std::map<std::uint32_t, std::set<PageNum>> block_pages;
+    runFunctional(*workload, 64 * 1024,
+                  [&](std::uint32_t block, PageNum page) {
+                      block_pages[block].insert(page);
+                  });
+
+    const double footprint =
+        static_cast<double>(workload->allocator().footprintPages());
+    const std::uint32_t num_blocks =
+        block_pages.empty() ? 0 : block_pages.rbegin()->first + 1;
+
+    std::vector<double> curve;
+    for (std::uint32_t k = 1; k <= kMaxSms; ++k) {
+        const std::uint32_t window = k * kBlocksPerSm;
+        double sum = 0.0;
+        std::uint32_t windows = 0;
+        for (std::uint32_t lo = 0; lo + window <= num_blocks;
+             lo += window) {
+            std::set<PageNum> pages;
+            for (std::uint32_t b = lo; b < lo + window; ++b) {
+                auto it = block_pages.find(b);
+                if (it != block_pages.end())
+                    pages.insert(it->second.begin(), it->second.end());
+            }
+            sum += static_cast<double>(pages.size()) / footprint;
+            ++windows;
+        }
+        if (windows == 0) {
+            // Fewer blocks than the window: everything runs at once.
+            std::set<PageNum> pages;
+            for (const auto &[b, s] : block_pages)
+                pages.insert(s.begin(), s.end());
+            sum = static_cast<double>(pages.size()) / footprint;
+            windows = 1;
+        }
+        curve.push_back(sum / windows);
+    }
+    return curve;
+}
+
+void
+printGroup(const char *title, const std::vector<std::string> &names,
+           WorkloadScale scale, std::uint64_t seed, bool csv)
+{
+    printBanner(title);
+    std::vector<std::string> headers = {"SMs"};
+    std::vector<std::vector<double>> curves;
+    for (const auto &n : names) {
+        std::fprintf(stderr, "  tracing %s ...\n", n.c_str());
+        headers.push_back(n);
+        curves.push_back(workingSetCurve(n, scale, seed));
+    }
+    Table t(headers);
+    for (std::uint32_t k = 1; k <= kMaxSms; ++k) {
+        std::vector<std::string> row = {std::to_string(k)};
+        for (const auto &c : curves)
+            row.push_back(Table::num(100.0 * c[k - 1], 1) + "%");
+        t.addRow(row);
+    }
+    t.emit(csv);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace bauvm;
+    BenchOptions opt = parseBenchArgs(argc, argv);
+
+    printGroup("Figure 1 (top): working set vs active SMs, regular "
+               "workloads",
+               regularWorkloadNames(), opt.scale, opt.seed, opt.csv);
+
+    const std::vector<std::string> irregular = {
+        "BC", "BFS-TTC", "GC-DTC", "KCORE", "PR", "SSSP-TWC",
+    };
+    printGroup("Figure 1 (bottom): working set vs active SMs, "
+               "irregular workloads",
+               irregular, opt.scale, opt.seed, opt.csv);
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot primitives:
+ * event queue scheduling, TLB/cache lookups, coalescing, page-table
+ * walks and R-MAT generation. These bound the simulator's own
+ * throughput, not the modeled GPU's.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "src/graph/generator.h"
+#include "src/gpu/coalescer.h"
+#include "src/mem/cache.h"
+#include "src/mem/page_table_walker.h"
+#include "src/mem/tlb.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/rng.h"
+
+namespace
+{
+
+using namespace bauvm;
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue q;
+        std::uint64_t sink = 0;
+        for (int i = 0; i < 1024; ++i)
+            q.scheduleAt(static_cast<Cycle>(i * 7 % 997),
+                         [&sink] { ++sink; });
+        q.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_TlbLookup(benchmark::State &state)
+{
+    TlbConfig config{64, 0, 1};
+    Tlb tlb(config, "bm");
+    Rng rng(7);
+    for (auto _ : state) {
+        const PageNum vpn = rng.nextBelow(256);
+        if (!tlb.lookup(vpn))
+            tlb.insert(vpn);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TlbLookup);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    CacheConfig config{16 * 1024, 4, 128, 28};
+    Cache cache(config, "bm");
+    Rng rng(7);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(rng.nextBelow(4096), false));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_Coalesce32Divergent(benchmark::State &state)
+{
+    Coalescer coalescer(128);
+    Rng rng(7);
+    std::vector<VAddr> addrs(32);
+    for (auto _ : state) {
+        for (auto &a : addrs)
+            a = rng.nextBelow(1 << 24);
+        benchmark::DoNotOptimize(coalescer.coalesce(addrs));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Coalesce32Divergent);
+
+void
+BM_PageWalk(benchmark::State &state)
+{
+    MemConfig config;
+    PageTableWalker walker(config);
+    Rng rng(7);
+    Cycle t = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            walker.walk(rng.nextBelow(1 << 20), t));
+        t += 10;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PageWalk);
+
+void
+BM_RmatGenerate(benchmark::State &state)
+{
+    for (auto _ : state) {
+        RmatParams params;
+        params.num_vertices = 1 << 12;
+        params.num_edges = 1 << 14;
+        benchmark::DoNotOptimize(generateRmat(params));
+    }
+}
+BENCHMARK(BM_RmatGenerate);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Table 1: configuration of the simulated system.
+ */
+
+#include <cstdio>
+
+#include "src/core/experiment.h"
+#include "src/core/presets.h"
+#include "src/core/report.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace bauvm;
+    const BenchOptions opt = parseBenchArgs(argc, argv);
+    const SimConfig c = paperConfig(opt.ratio, opt.seed);
+
+    printBanner("Table 1: Configuration of the simulated system");
+    Table t({"Component", "Configuration"});
+    char buf[160];
+
+    std::snprintf(buf, sizeof buf,
+                  "%u SMs, 1GHz, %u threads per SM, %lluKB register "
+                  "files per SM",
+                  c.gpu.num_sms, c.gpu.max_threads_per_sm,
+                  static_cast<unsigned long long>(
+                      c.gpu.regfile_bytes_per_sm / 1024));
+    t.addRow({"Core", buf});
+
+    std::snprintf(buf, sizeof buf,
+                  "%lluKB, %u-way, LRU, %u-cycle hit latency",
+                  static_cast<unsigned long long>(c.mem.l1.size_bytes /
+                                                  1024),
+                  c.mem.l1.associativity,
+                  static_cast<unsigned>(c.mem.l1.hit_latency));
+    t.addRow({"Private L1 Cache", buf});
+
+    std::snprintf(buf, sizeof buf, "%u entries per core, fully "
+                                   "associative, LRU",
+                  c.mem.l1_tlb.entries);
+    t.addRow({"Private L1 TLB", buf});
+
+    std::snprintf(buf, sizeof buf, "%lluMB total, %u-way, LRU",
+                  static_cast<unsigned long long>(c.mem.l2.size_bytes /
+                                                  (1024 * 1024)),
+                  c.mem.l2.associativity);
+    t.addRow({"Shared L2 Cache", buf});
+
+    std::snprintf(buf, sizeof buf, "%u entries total, %u-way "
+                                   "associative, LRU",
+                  c.mem.l2_tlb.entries, c.mem.l2_tlb.associativity);
+    t.addRow({"Shared L2 TLB", buf});
+
+    std::snprintf(buf, sizeof buf, "%u cycle latency",
+                  static_cast<unsigned>(c.mem.dram_latency));
+    t.addRow({"Memory", buf});
+
+    std::snprintf(buf, sizeof buf, "%u entries",
+                  c.uvm.fault_buffer_entries);
+    t.addRow({"Fault Buffer", buf});
+
+    std::snprintf(buf, sizeof buf,
+                  "%lluKB page size, %.0fus GPU runtime fault handling "
+                  "time, %.2fGB/s PCIe bandwidth",
+                  static_cast<unsigned long long>(c.uvm.page_bytes /
+                                                  1024),
+                  c.uvm.fault_handling_us, c.uvm.pcie_gbps);
+    t.addRow({"Fault Handling", buf});
+
+    std::snprintf(buf, sizeof buf,
+                  "shared page-table walker, %u concurrent walks, "
+                  "%u-entry walk cache",
+                  c.mem.walker_threads, c.mem.walk_cache_entries);
+    t.addRow({"Address Translation", buf});
+
+    t.emit(opt.csv);
+    return 0;
+}

@@ -1,0 +1,104 @@
+#include "src/core/experiment.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "src/sim/log.h"
+
+namespace bauvm
+{
+
+BenchOptions
+parseBenchArgs(int argc, char **argv)
+{
+    BenchOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&](const char *what) -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", what);
+            return argv[++i];
+        };
+        if (arg == "--csv") {
+            opt.csv = true;
+        } else if (arg == "--scale") {
+            const std::string v = next("--scale");
+            if (v == "tiny")
+                opt.scale = WorkloadScale::Tiny;
+            else if (v == "small")
+                opt.scale = WorkloadScale::Small;
+            else if (v == "medium")
+                opt.scale = WorkloadScale::Medium;
+            else if (v == "large")
+                opt.scale = WorkloadScale::Large;
+            else
+                fatal("unknown scale '%s'", v.c_str());
+        } else if (arg == "--ratio") {
+            opt.ratio = std::stod(next("--ratio"));
+        } else if (arg == "--seed") {
+            opt.seed = std::stoull(next("--seed"));
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("options: --scale tiny|small|medium|large "
+                        "--ratio R --seed N --csv\n");
+            std::exit(0);
+        } else {
+            fatal("unknown argument '%s'", arg.c_str());
+        }
+    }
+    return opt;
+}
+
+RunResult
+runCell(const std::string &workload, Policy policy,
+        const BenchOptions &opt)
+{
+    SimConfig config = paperConfig(opt.ratio, opt.seed);
+    config = applyPolicy(config, policy);
+    return runWorkload(config, workload, opt.scale);
+}
+
+std::map<std::string, std::map<Policy, RunResult>>
+runMatrix(const std::vector<std::string> &workloads,
+          const std::vector<Policy> &policies, const BenchOptions &opt,
+          bool verbose)
+{
+    std::map<std::string, std::map<Policy, RunResult>> results;
+    for (const auto &w : workloads) {
+        for (Policy p : policies) {
+            if (verbose) {
+                std::fprintf(stderr, "  running %s / %s ...\n",
+                             w.c_str(), policyName(p).c_str());
+            }
+            results[w][p] = runCell(w, p, opt);
+        }
+    }
+    return results;
+}
+
+double
+amean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            panic("geomean: non-positive value %f", v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace bauvm

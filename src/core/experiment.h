@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Experiment harness shared by the bench binaries: runs (workload x
+ * policy) matrices, computes normalized speedups and geometric means,
+ * and parses the common bench command line (--scale / --csv / --ratio).
+ */
+
+#ifndef BAUVM_CORE_EXPERIMENT_H_
+#define BAUVM_CORE_EXPERIMENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/presets.h"
+#include "src/core/system.h"
+#include "src/workloads/workload.h"
+
+namespace bauvm
+{
+
+/** Common options parsed from a bench binary's argv. */
+struct BenchOptions {
+    WorkloadScale scale = WorkloadScale::Small;
+    bool csv = false;
+    double ratio = 0.5; //!< oversubscription ratio
+    std::uint64_t seed = 1;
+};
+
+/** Parses --scale tiny|small|medium|large, --csv, --ratio R, --seed N. */
+BenchOptions parseBenchArgs(int argc, char **argv);
+
+/** Runs one (workload, policy) cell of the evaluation matrix. */
+RunResult runCell(const std::string &workload, Policy policy,
+                  const BenchOptions &opt);
+
+/**
+ * Runs @p policies for every workload in @p workloads.
+ * @return results[workload][policy].
+ */
+std::map<std::string, std::map<Policy, RunResult>> runMatrix(
+    const std::vector<std::string> &workloads,
+    const std::vector<Policy> &policies, const BenchOptions &opt,
+    bool verbose = true);
+
+/** Geometric mean of @p values (must be positive). */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean (the paper reports arithmetic-average speedups). */
+double amean(const std::vector<double> &values);
+
+} // namespace bauvm
+
+#endif // BAUVM_CORE_EXPERIMENT_H_

@@ -1,0 +1,96 @@
+#include "src/core/presets.h"
+
+#include "src/sim/log.h"
+
+namespace bauvm
+{
+
+const std::vector<Policy> &
+allPolicies()
+{
+    static const std::vector<Policy> policies = {
+        Policy::Baseline, Policy::BaselinePcieComp, Policy::To,
+        Policy::Ue,       Policy::ToUe,             Policy::Etc,
+    };
+    return policies;
+}
+
+std::string
+policyName(Policy policy)
+{
+    switch (policy) {
+      case Policy::Baseline:
+        return "BASELINE";
+      case Policy::BaselinePcieComp:
+        return "BASELINE+PCIeC";
+      case Policy::To:
+        return "TO";
+      case Policy::Ue:
+        return "UE";
+      case Policy::ToUe:
+        return "TO+UE";
+      case Policy::Etc:
+        return "ETC";
+      case Policy::IdealEviction:
+        return "IDEAL-EVICTION";
+      case Policy::Unlimited:
+        return "UNLIMITED";
+    }
+    fatal("policyName: bad policy");
+}
+
+Policy
+policyFromName(const std::string &name)
+{
+    for (Policy p :
+         {Policy::Baseline, Policy::BaselinePcieComp, Policy::To,
+          Policy::Ue, Policy::ToUe, Policy::Etc, Policy::IdealEviction,
+          Policy::Unlimited}) {
+        if (policyName(p) == name)
+            return p;
+    }
+    fatal("policyFromName: unknown policy '%s'", name.c_str());
+}
+
+SimConfig
+paperConfig(double memory_ratio, std::uint64_t seed)
+{
+    SimConfig config; // defaults in sim/config.h are Table 1 already
+    config.memory_ratio = memory_ratio;
+    config.seed = seed;
+    return config;
+}
+
+SimConfig
+applyPolicy(SimConfig config, Policy policy)
+{
+    switch (policy) {
+      case Policy::Baseline:
+        break;
+      case Policy::BaselinePcieComp:
+        config.uvm.pcie_compression_ratio = 1.5;
+        break;
+      case Policy::To:
+        config.to.enabled = true;
+        break;
+      case Policy::Ue:
+        config.uvm.unobtrusive_eviction = true;
+        break;
+      case Policy::ToUe:
+        config.to.enabled = true;
+        config.uvm.unobtrusive_eviction = true;
+        break;
+      case Policy::Etc:
+        config.etc.enabled = true;
+        break;
+      case Policy::IdealEviction:
+        config.uvm.ideal_eviction = true;
+        break;
+      case Policy::Unlimited:
+        config.memory_ratio = 0.0; // unlimited device memory
+        break;
+    }
+    return config;
+}
+
+} // namespace bauvm

@@ -1,0 +1,86 @@
+#include "src/core/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/sim/log.h"
+
+namespace bauvm
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        panic("Table: row width %zu != header width %zu", cells.size(),
+              headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+    return buf;
+}
+
+void
+Table::print() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            std::printf("%-*s  ", static_cast<int>(widths[c]),
+                        row[c].c_str());
+        std::printf("\n");
+    };
+    print_row(headers_);
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+void
+Table::printCsv() const
+{
+    auto print_row = [](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            std::printf("%s%s", row[c].c_str(),
+                        c + 1 == row.size() ? "\n" : ",");
+    };
+    print_row(headers_);
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+void
+Table::emit(bool csv) const
+{
+    if (csv)
+        printCsv();
+    else
+        print();
+}
+
+void
+printBanner(const std::string &title)
+{
+    std::printf("\n== %s ==\n", title.c_str());
+}
+
+} // namespace bauvm

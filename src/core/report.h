@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Table/CSV output helpers used by the bench binaries so every figure
+ * prints in the same format.
+ */
+
+#ifndef BAUVM_CORE_REPORT_H_
+#define BAUVM_CORE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace bauvm
+{
+
+/** A simple column-aligned table with an optional CSV rendering. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Formats a double with @p precision decimals. */
+    static std::string num(double v, int precision = 3);
+
+    /** Prints aligned columns to stdout. */
+    void print() const;
+
+    /** Prints CSV to stdout. */
+    void printCsv() const;
+
+    /** print() or printCsv() depending on @p csv. */
+    void emit(bool csv) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Prints a figure banner ("== Figure 11: ... =="). */
+void printBanner(const std::string &title);
+
+} // namespace bauvm
+
+#endif // BAUVM_CORE_REPORT_H_

@@ -1,0 +1,111 @@
+#include "src/core/system.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/sim/log.h"
+
+namespace bauvm
+{
+
+GpuUvmSystem::GpuUvmSystem(const SimConfig &config)
+    : config_(config),
+      manager_(config.uvm, /*capacity: set after build*/ 0),
+      hierarchy_(config.mem, config.gpu.num_sms, config.uvm.page_bytes,
+                 manager_.pageTable()),
+      runtime_(config.uvm, events_, manager_, hierarchy_)
+{
+    gpu_ = std::make_unique<Gpu>(config_, events_, hierarchy_, runtime_);
+    if (config_.etc.enabled) {
+        etc_ = std::make_unique<EtcFramework>(
+            config_.etc, EtcAppClass::Irregular, manager_, hierarchy_,
+            runtime_, gpu_->dispatcher(), config_.gpu.num_sms);
+        runtime_.setBatchEndCallback([this](const BatchRecord &) {
+            etc_->onBatchEnd(events_.now());
+        });
+    }
+}
+
+RunResult
+GpuUvmSystem::run(Workload &workload, WorkloadScale scale)
+{
+    workload.build(scale, config_.seed);
+
+    for (const auto &range : workload.allocator().ranges())
+        runtime_.registerAllocation(range.base, range.bytes);
+
+    const std::uint64_t footprint_pages =
+        workload.allocator().footprintPages();
+    if (config_.memory_ratio > 0.0) {
+        auto capacity = static_cast<std::uint64_t>(
+            std::ceil(config_.memory_ratio *
+                      static_cast<double>(footprint_pages)));
+        capacity = std::max<std::uint64_t>(capacity, 4);
+        manager_.setCapacityPages(capacity);
+    } // else: unlimited (capacity 0)
+
+    if (etc_)
+        etc_->applyStatic();
+
+    if (config_.uvm.preload) {
+        // Traditional GPU: cudaMemcpy'd everything up front.
+        if (config_.memory_ratio > 0.0 && config_.memory_ratio < 1.0)
+            fatal("preload requires memory_ratio >= 1 or unlimited");
+        for (const auto &range : workload.allocator().ranges()) {
+            const PageNum first = range.base / config_.uvm.page_bytes;
+            const PageNum last = (range.base + range.bytes - 1) /
+                                 config_.uvm.page_bytes;
+            for (PageNum vpn = first; vpn <= last; ++vpn) {
+                if (manager_.isResident(vpn))
+                    continue;
+                manager_.reserveFrame();
+                manager_.commitPage(vpn, events_.now());
+            }
+        }
+    }
+
+    RunResult r;
+    r.workload = workload.name();
+    r.footprint_bytes = workload.footprintBytes();
+    r.capacity_pages = manager_.capacityPages();
+
+    const Cycle begin = events_.now();
+    KernelInfo kernel;
+    while (workload.nextKernel(&kernel)) {
+        gpu_->runKernel(kernel);
+        ++r.kernels;
+    }
+    r.cycles = events_.now() - begin;
+
+    r.instructions = gpu_->totalIssuedInstructions();
+    r.batches = runtime_.batches();
+    r.avg_batch_pages = runtime_.averageBatchPages();
+    r.avg_batch_time = runtime_.averageProcessingTime();
+    r.avg_handling_time = runtime_.averageHandlingTime();
+    r.demand_pages = runtime_.demandFaultPages();
+    r.prefetched_pages = runtime_.prefetchedPages();
+    r.batch_records = runtime_.batchRecords();
+    r.migrations = manager_.migrations();
+    r.evictions = manager_.evictions();
+    r.premature_evictions = manager_.prematureEvictions();
+    r.premature_rate = manager_.prematureEvictionRate();
+    r.context_switches = gpu_->vtc().contextSwitches();
+    r.context_switch_cycles = gpu_->vtc().switchCycles();
+    r.pcie_h2d_bytes = runtime_.pcie().bytesMoved(PcieDir::HostToDevice);
+    r.pcie_d2h_bytes = runtime_.pcie().bytesMoved(PcieDir::DeviceToHost);
+    return r;
+}
+
+RunResult
+runWorkload(const SimConfig &config, const std::string &name,
+            WorkloadScale scale, bool validate)
+{
+    auto workload = makeWorkload(name);
+    GpuUvmSystem system(config);
+    RunResult result = system.run(*workload, scale);
+    if (validate)
+        workload->validate();
+    return result;
+}
+
+} // namespace bauvm

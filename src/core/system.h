@@ -1,0 +1,104 @@
+/**
+ * @file
+ * GpuUvmSystem: the library's main entry point. Wires the event queue,
+ * memory system, UVM runtime, GPU and (optionally) the ETC framework
+ * together, runs a workload through its kernel sequence, and reports a
+ * RunResult with every statistic the paper's figures need.
+ */
+
+#ifndef BAUVM_CORE_SYSTEM_H_
+#define BAUVM_CORE_SYSTEM_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/etc/etc_framework.h"
+#include "src/gpu/gpu.h"
+#include "src/mem/memory_hierarchy.h"
+#include "src/sim/config.h"
+#include "src/sim/event_queue.h"
+#include "src/uvm/gpu_memory_manager.h"
+#include "src/uvm/uvm_runtime.h"
+#include "src/workloads/workload.h"
+
+namespace bauvm
+{
+
+/** Everything a figure might want from one simulation run. */
+struct RunResult {
+    std::string workload;
+    Cycle cycles = 0;                  //!< total execution time
+    std::uint64_t kernels = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t footprint_bytes = 0;
+    std::uint64_t capacity_pages = 0;
+
+    // UVM batch statistics (Figs 3, 12-14, 16).
+    std::uint64_t batches = 0;
+    double avg_batch_pages = 0.0;      //!< demand faults per batch
+    double avg_batch_time = 0.0;       //!< cycles
+    double avg_handling_time = 0.0;    //!< cycles
+    std::uint64_t demand_pages = 0;
+    std::uint64_t prefetched_pages = 0;
+    std::vector<BatchRecord> batch_records;
+
+    // Eviction statistics (Figs 8, 15, 17).
+    std::uint64_t migrations = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t premature_evictions = 0;
+    double premature_rate = 0.0;
+
+    // Thread oversubscription statistics (Figs 5, 12-13, section 6.5).
+    std::uint64_t context_switches = 0;
+    std::uint64_t context_switch_cycles = 0;
+
+    // Interconnect utilization.
+    std::uint64_t pcie_h2d_bytes = 0;
+    std::uint64_t pcie_d2h_bytes = 0;
+};
+
+/** A fully wired simulated system executing one workload. */
+class GpuUvmSystem
+{
+  public:
+    explicit GpuUvmSystem(const SimConfig &config);
+
+    /**
+     * Builds @p workload at @p scale, sizes device memory from its
+     * footprint and the configured memory ratio, runs every kernel the
+     * workload produces, and returns the aggregated statistics.
+     *
+     * The workload's functional results stay in its device arrays, so
+     * callers can validate() afterwards.
+     */
+    RunResult run(Workload &workload, WorkloadScale scale);
+
+    // Component access for tests and custom experiments.
+    EventQueue &events() { return events_; }
+    GpuMemoryManager &memoryManager() { return manager_; }
+    MemoryHierarchy &hierarchy() { return hierarchy_; }
+    UvmRuntime &runtime() { return runtime_; }
+    Gpu &gpu() { return *gpu_; }
+    const SimConfig &config() const { return config_; }
+
+  private:
+    SimConfig config_;
+    EventQueue events_;
+    GpuMemoryManager manager_;
+    MemoryHierarchy hierarchy_;
+    UvmRuntime runtime_;
+    std::unique_ptr<Gpu> gpu_;
+    std::unique_ptr<EtcFramework> etc_;
+};
+
+/**
+ * Convenience wrapper: build the named workload, run it under
+ * @p config, optionally validate, and return the result.
+ */
+RunResult runWorkload(const SimConfig &config, const std::string &name,
+                      WorkloadScale scale, bool validate = false);
+
+} // namespace bauvm
+
+#endif // BAUVM_CORE_SYSTEM_H_

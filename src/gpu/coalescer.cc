@@ -1,0 +1,30 @@
+#include "src/gpu/coalescer.h"
+
+#include <algorithm>
+
+#include "src/sim/log.h"
+
+namespace bauvm
+{
+
+Coalescer::Coalescer(std::uint32_t line_bytes) : line_bytes_(line_bytes)
+{
+    if (line_bytes == 0)
+        fatal("Coalescer: zero line size");
+}
+
+std::vector<VAddr>
+Coalescer::coalesce(const std::vector<VAddr> &lane_addrs)
+{
+    ++instructions_;
+    std::vector<VAddr> lines;
+    lines.reserve(lane_addrs.size());
+    for (VAddr a : lane_addrs)
+        lines.push_back(a - a % line_bytes_);
+    std::sort(lines.begin(), lines.end());
+    lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+    transactions_ += lines.size();
+    return lines;
+}
+
+} // namespace bauvm

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Top-level GPU device: SMs, virtual-thread controller and block
+ * dispatcher, with the kernel-launch loop.
+ */
+
+#ifndef BAUVM_GPU_GPU_H_
+#define BAUVM_GPU_GPU_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/gpu/block_dispatcher.h"
+#include "src/gpu/sm.h"
+#include "src/gpu/virtual_thread.h"
+#include "src/gpu/warp_program.h"
+#include "src/mem/memory_hierarchy.h"
+#include "src/sim/config.h"
+#include "src/sim/event_queue.h"
+#include "src/uvm/uvm_runtime.h"
+
+namespace bauvm
+{
+
+/** The simulated GPU device. */
+class Gpu : public SmListener
+{
+  public:
+    Gpu(const SimConfig &config, EventQueue &events,
+        MemoryHierarchy &hierarchy, UvmRuntime &runtime);
+    ~Gpu() override = default;
+
+    /**
+     * Executes @p kernel to completion (drains the event queue).
+     * @return cycles elapsed during the kernel.
+     */
+    Cycle runKernel(const KernelInfo &kernel);
+
+    VirtualThreadController &vtc() { return vtc_; }
+    BlockDispatcher &dispatcher() { return dispatcher_; }
+    const Sm &sm(std::uint32_t i) const { return *sms_[i]; }
+    std::uint32_t numSms() const
+    {
+        return static_cast<std::uint32_t>(sms_.size());
+    }
+
+    std::uint64_t totalIssuedInstructions() const;
+
+    // SmListener
+    void onBlockStalled(std::uint32_t sm, std::uint32_t slot) override;
+    void onBlockFinished(std::uint32_t sm, std::uint32_t slot) override;
+    void onInactiveWarpReady(std::uint32_t sm,
+                             std::uint32_t slot) override;
+
+  private:
+    SimConfig config_;
+    EventQueue &events_;
+    std::vector<std::unique_ptr<Sm>> sms_;
+    VirtualThreadController vtc_;
+    BlockDispatcher dispatcher_;
+    bool kernel_done_ = false;
+};
+
+} // namespace bauvm
+
+#endif // BAUVM_GPU_GPU_H_

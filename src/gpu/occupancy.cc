@@ -1,0 +1,56 @@
+#include "src/gpu/occupancy.h"
+
+#include <algorithm>
+
+#include "src/sim/log.h"
+
+namespace bauvm
+{
+
+Occupancy
+computeOccupancy(const GpuConfig &config, const KernelInfo &kernel)
+{
+    if (kernel.threads_per_block == 0)
+        fatal("computeOccupancy: kernel with zero threads per block");
+
+    Occupancy occ;
+    occ.thread_limit =
+        config.max_threads_per_sm / kernel.threads_per_block;
+    occ.block_limit = config.max_blocks_per_sm;
+
+    const std::uint64_t regs_bytes_per_block =
+        static_cast<std::uint64_t>(kernel.threads_per_block) *
+        kernel.regs_per_thread * 4;
+    occ.register_limit =
+        regs_bytes_per_block == 0
+            ? config.max_blocks_per_sm
+            : static_cast<std::uint32_t>(config.regfile_bytes_per_sm /
+                                         regs_bytes_per_block);
+
+    occ.smem_limit =
+        kernel.smem_bytes_per_block == 0
+            ? config.max_blocks_per_sm
+            : static_cast<std::uint32_t>(kSharedMemPerSm /
+                                         kernel.smem_bytes_per_block);
+
+    occ.blocks_per_sm = std::min(
+        {occ.thread_limit, occ.block_limit, occ.register_limit,
+         occ.smem_limit});
+    if (occ.blocks_per_sm == 0) {
+        fatal("computeOccupancy: kernel '%s' does not fit on an SM "
+              "(threads=%u regs=%u smem=%u)",
+              kernel.name.c_str(), kernel.threads_per_block,
+              kernel.regs_per_thread, kernel.smem_bytes_per_block);
+    }
+    return occ;
+}
+
+std::uint64_t
+contextBytes(const KernelInfo &kernel, std::uint64_t block_state_bytes)
+{
+    return static_cast<std::uint64_t>(kernel.threads_per_block) *
+               kernel.regs_per_thread * 4 +
+           block_state_bytes;
+}
+
+} // namespace bauvm

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Occupancy calculator: how many thread blocks fit on one SM.
+ *
+ * Mirrors the constraints the paper lists in section 2.1: the maximum
+ * thread count per SM, the maximum resident block count, the register
+ * file capacity, and shared memory. The binding constraint matters for
+ * Thread Oversubscription: when the register file is (close to)
+ * exhausted at the scheduling limit, extra blocks can only be hosted
+ * through full context switching via global memory (section 4.1).
+ */
+
+#ifndef BAUVM_GPU_OCCUPANCY_H_
+#define BAUVM_GPU_OCCUPANCY_H_
+
+#include <cstdint>
+
+#include "src/gpu/warp_program.h"
+#include "src/sim/config.h"
+
+namespace bauvm
+{
+
+/** Result of the occupancy computation for one kernel on one SM. */
+struct Occupancy {
+    std::uint32_t blocks_per_sm = 0;  //!< resident blocks (baseline)
+    std::uint32_t thread_limit = 0;   //!< blocks allowed by thread count
+    std::uint32_t block_limit = 0;    //!< blocks allowed by block slots
+    std::uint32_t register_limit = 0; //!< blocks allowed by the regfile
+    std::uint32_t smem_limit = 0;     //!< blocks allowed by shared mem
+
+    /**
+     * True when the Virtual Thread architecture could host at least one
+     * extra block within spare capacity (registers/smem) — i.e. without
+     * spilling contexts to global memory. For the paper's graph
+     * workloads this is false, which motivates TO's full context
+     * switching.
+     */
+    bool
+    sparseCapacityForExtraBlock() const
+    {
+        const std::uint32_t cap = register_limit < smem_limit
+                                      ? register_limit
+                                      : smem_limit;
+        return cap > blocks_per_sm;
+    }
+};
+
+/** Shared-memory capacity per SM used by the occupancy calculation. */
+constexpr std::uint64_t kSharedMemPerSm = 64 * 1024;
+
+/**
+ * Computes the baseline resident-block count for @p kernel.
+ * Calls fatal() if even a single block does not fit.
+ */
+Occupancy computeOccupancy(const GpuConfig &config,
+                           const KernelInfo &kernel);
+
+/**
+ * Context bytes that must move through global memory to switch one
+ * block of @p kernel out or in: the live register file plus the
+ * per-block state (warp ids, block ids, SIMT stacks — paper footnote 5).
+ */
+std::uint64_t contextBytes(const KernelInfo &kernel,
+                           std::uint64_t block_state_bytes);
+
+} // namespace bauvm
+
+#endif // BAUVM_GPU_OCCUPANCY_H_

@@ -1,0 +1,2 @@
+// WarpProgram is header-only; this file anchors the module in the build.
+#include "src/gpu/warp_program.h"

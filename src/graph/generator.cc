@@ -1,0 +1,117 @@
+#include "src/graph/generator.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/sim/log.h"
+
+namespace bauvm
+{
+
+namespace
+{
+
+VertexId
+roundUpPow2(VertexId v)
+{
+    VertexId p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+void
+appendEdge(std::vector<std::pair<VertexId, VertexId>> &edges,
+           std::vector<std::uint32_t> &weights, bool weighted,
+           bool undirected, VertexId src, VertexId dst, Rng &rng)
+{
+    if (src == dst)
+        return; // drop self loops
+    edges.emplace_back(src, dst);
+    std::uint32_t w = 0;
+    if (weighted) {
+        w = static_cast<std::uint32_t>(rng.nextRange(1, 64));
+        weights.push_back(w);
+    }
+    if (undirected) {
+        edges.emplace_back(dst, src);
+        if (weighted)
+            weights.push_back(w);
+    }
+}
+
+} // namespace
+
+CsrGraph
+generateRmat(const RmatParams &params)
+{
+    const double d = 1.0 - params.a - params.b - params.c;
+    if (d < 0.0)
+        fatal("generateRmat: probabilities exceed 1");
+
+    const VertexId n = roundUpPow2(params.num_vertices);
+    Rng rng(params.seed);
+    std::vector<std::pair<VertexId, VertexId>> edges;
+    std::vector<std::uint32_t> weights;
+    edges.reserve(params.num_edges * (params.undirected ? 2 : 1));
+
+    for (std::uint64_t e = 0; e < params.num_edges; ++e) {
+        VertexId src = 0, dst = 0;
+        for (VertexId bit = n >> 1; bit > 0; bit >>= 1) {
+            const double r = rng.nextDouble();
+            if (r < params.a) {
+                // top-left quadrant: no bits set
+            } else if (r < params.a + params.b) {
+                dst |= bit;
+            } else if (r < params.a + params.b + params.c) {
+                src |= bit;
+            } else {
+                src |= bit;
+                dst |= bit;
+            }
+        }
+        appendEdge(edges, weights, params.weighted, params.undirected,
+                   src, dst, rng);
+    }
+    return CsrGraph::fromEdges(n, edges, weights);
+}
+
+CsrGraph
+generateUniform(VertexId num_vertices, std::uint64_t num_edges,
+                bool undirected, bool weighted, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::pair<VertexId, VertexId>> edges;
+    std::vector<std::uint32_t> weights;
+    edges.reserve(num_edges * (undirected ? 2 : 1));
+    for (std::uint64_t e = 0; e < num_edges; ++e) {
+        const auto src =
+            static_cast<VertexId>(rng.nextBelow(num_vertices));
+        const auto dst =
+            static_cast<VertexId>(rng.nextBelow(num_vertices));
+        appendEdge(edges, weights, weighted, undirected, src, dst, rng);
+    }
+    return CsrGraph::fromEdges(num_vertices, edges, weights);
+}
+
+CsrGraph
+generateGrid(VertexId side, bool weighted, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::pair<VertexId, VertexId>> edges;
+    std::vector<std::uint32_t> weights;
+    const VertexId n = side * side;
+    for (VertexId y = 0; y < side; ++y) {
+        for (VertexId x = 0; x < side; ++x) {
+            const VertexId v = y * side + x;
+            if (x + 1 < side)
+                appendEdge(edges, weights, weighted, true, v, v + 1, rng);
+            if (y + 1 < side)
+                appendEdge(edges, weights, weighted, true, v, v + side,
+                           rng);
+        }
+    }
+    return CsrGraph::fromEdges(n, edges, weights);
+}
+
+} // namespace bauvm

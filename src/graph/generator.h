@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Synthetic graph generators.
+ *
+ * R-MAT (Chakrabarti et al.) stands in for the real-world social/web
+ * graphs the paper uses from GraphBIG: it produces the skewed degree
+ * distribution and poor locality that make these workloads irregular.
+ * Uniform and 2D-grid generators provide contrast for tests and for the
+ * regular-workload suite.
+ */
+
+#ifndef BAUVM_GRAPH_GENERATOR_H_
+#define BAUVM_GRAPH_GENERATOR_H_
+
+#include <cstdint>
+
+#include "src/graph/csr_graph.h"
+#include "src/sim/rng.h"
+
+namespace bauvm
+{
+
+/** Parameters for R-MAT generation. */
+struct RmatParams {
+    VertexId num_vertices = 1 << 14; //!< rounded up to a power of two
+    std::uint64_t num_edges = 1 << 17;
+    double a = 0.57, b = 0.19, c = 0.19; //!< d = 1 - a - b - c
+    bool undirected = true;  //!< also insert the reverse edge
+    bool weighted = false;   //!< uniform weights in [1, 64]
+    std::uint64_t seed = 1;
+};
+
+/** Generates an R-MAT graph. */
+CsrGraph generateRmat(const RmatParams &params);
+
+/** Generates a uniform random graph with the same knobs. */
+CsrGraph generateUniform(VertexId num_vertices, std::uint64_t num_edges,
+                         bool undirected, bool weighted,
+                         std::uint64_t seed);
+
+/** Generates a 4-neighbour 2D grid graph of @p side x @p side. */
+CsrGraph generateGrid(VertexId side, bool weighted, std::uint64_t seed);
+
+} // namespace bauvm
+
+#endif // BAUVM_GRAPH_GENERATOR_H_

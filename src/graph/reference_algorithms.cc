@@ -1,0 +1,168 @@
+#include "src/graph/reference_algorithms.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+namespace bauvm::reference
+{
+
+std::vector<std::uint32_t>
+bfsLevels(const CsrGraph &g, VertexId source)
+{
+    std::vector<std::uint32_t> level(g.numVertices(), kInfinity);
+    std::deque<VertexId> frontier{source};
+    level[source] = 0;
+    while (!frontier.empty()) {
+        const VertexId v = frontier.front();
+        frontier.pop_front();
+        for (VertexId n : g.neighbors(v)) {
+            if (level[n] == kInfinity) {
+                level[n] = level[v] + 1;
+                frontier.push_back(n);
+            }
+        }
+    }
+    return level;
+}
+
+std::vector<std::uint32_t>
+ssspDistances(const CsrGraph &g, VertexId source)
+{
+    std::vector<std::uint32_t> dist(g.numVertices(), kInfinity);
+    using Entry = std::pair<std::uint32_t, VertexId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+    dist[source] = 0;
+    pq.emplace(0, source);
+    while (!pq.empty()) {
+        const auto [d, v] = pq.top();
+        pq.pop();
+        if (d != dist[v])
+            continue;
+        const auto nbrs = g.neighbors(v);
+        const auto wts = g.edgeWeights(v);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+            const std::uint32_t nd = d + wts[i];
+            if (nd < dist[nbrs[i]]) {
+                dist[nbrs[i]] = nd;
+                pq.emplace(nd, nbrs[i]);
+            }
+        }
+    }
+    return dist;
+}
+
+std::vector<double>
+pageRank(const CsrGraph &g, std::uint32_t iterations, double d)
+{
+    const VertexId n = g.numVertices();
+    std::vector<double> rank(n, 1.0 / n);
+    std::vector<double> next(n);
+    // Matches the GPU kernel's scheme: pull over the (undirected)
+    // adjacency with no dangling-mass redistribution — isolated
+    // vertices simply keep the teleport term.
+    for (std::uint32_t it = 0; it < iterations; ++it) {
+        std::fill(next.begin(), next.end(), (1.0 - d) / n);
+        for (VertexId v = 0; v < n; ++v) {
+            const auto deg = g.degree(v);
+            if (deg == 0)
+                continue;
+            const double share = d * rank[v] / static_cast<double>(deg);
+            for (VertexId nb : g.neighbors(v))
+                next[nb] += share;
+        }
+        rank.swap(next);
+    }
+    return rank;
+}
+
+std::vector<std::uint32_t>
+kcore(const CsrGraph &g)
+{
+    const VertexId n = g.numVertices();
+    std::vector<std::uint32_t> deg(n);
+    std::uint32_t max_deg = 0;
+    for (VertexId v = 0; v < n; ++v) {
+        deg[v] = static_cast<std::uint32_t>(g.degree(v));
+        max_deg = std::max(max_deg, deg[v]);
+    }
+    // Bucket peeling (Matula-Beck smallest-last ordering).
+    std::vector<std::vector<VertexId>> buckets(max_deg + 1);
+    for (VertexId v = 0; v < n; ++v)
+        buckets[deg[v]].push_back(v);
+    std::vector<std::uint32_t> core(n, 0);
+    std::vector<bool> removed(n, false);
+    std::uint32_t current = 0;
+    for (std::uint32_t k = 0; k <= max_deg; ++k) {
+        auto &bucket = buckets[k];
+        while (!bucket.empty()) {
+            const VertexId v = bucket.back();
+            bucket.pop_back();
+            if (removed[v] || deg[v] != k)
+                continue; // stale entry
+            removed[v] = true;
+            current = std::max(current, k);
+            core[v] = current;
+            for (VertexId nb : g.neighbors(v)) {
+                if (!removed[nb] && deg[nb] > k) {
+                    --deg[nb];
+                    buckets[deg[nb]].push_back(nb);
+                }
+            }
+        }
+    }
+    return core;
+}
+
+std::vector<double>
+bcFromSource(const CsrGraph &g, VertexId source)
+{
+    const VertexId n = g.numVertices();
+    std::vector<double> sigma(n, 0.0), delta(n, 0.0);
+    std::vector<std::uint32_t> dist(n, kInfinity);
+    std::vector<VertexId> order;
+    order.reserve(n);
+
+    std::deque<VertexId> frontier{source};
+    sigma[source] = 1.0;
+    dist[source] = 0;
+    while (!frontier.empty()) {
+        const VertexId v = frontier.front();
+        frontier.pop_front();
+        order.push_back(v);
+        for (VertexId nb : g.neighbors(v)) {
+            if (dist[nb] == kInfinity) {
+                dist[nb] = dist[v] + 1;
+                frontier.push_back(nb);
+            }
+            if (dist[nb] == dist[v] + 1)
+                sigma[nb] += sigma[v];
+        }
+    }
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const VertexId v = *it;
+        for (VertexId nb : g.neighbors(v)) {
+            if (dist[nb] == dist[v] + 1 && sigma[nb] > 0.0)
+                delta[v] += sigma[v] / sigma[nb] * (1.0 + delta[nb]);
+        }
+    }
+    delta[source] = 0.0;
+    return delta;
+}
+
+bool
+isProperColoring(const CsrGraph &g,
+                 const std::vector<std::uint32_t> &colors)
+{
+    if (colors.size() != g.numVertices())
+        return false;
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        for (VertexId nb : g.neighbors(v)) {
+            if (nb != v && colors[v] == colors[nb])
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace bauvm::reference

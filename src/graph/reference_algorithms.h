@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Reference CPU implementations of every graph algorithm the GPU
+ * workloads run. The test suite validates each simulated kernel's
+ * functional output against these.
+ */
+
+#ifndef BAUVM_GRAPH_REFERENCE_ALGORITHMS_H_
+#define BAUVM_GRAPH_REFERENCE_ALGORITHMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/csr_graph.h"
+
+namespace bauvm::reference
+{
+
+/** Unreachable marker used by BFS/SSSP results. */
+constexpr std::uint32_t kInfinity = 0xffffffffu;
+
+/** BFS levels from @p source (kInfinity where unreachable). */
+std::vector<std::uint32_t> bfsLevels(const CsrGraph &g, VertexId source);
+
+/** Single-source shortest path distances (weighted, non-negative). */
+std::vector<std::uint32_t> ssspDistances(const CsrGraph &g,
+                                         VertexId source);
+
+/** PageRank scores after @p iterations of synchronous power iteration
+ *  with damping @p d (uniform 1/V start, no dangling redistribution —
+ *  matching the GPU kernel's pull scheme on undirected graphs). */
+std::vector<double> pageRank(const CsrGraph &g, std::uint32_t iterations,
+                             double d = 0.85);
+
+/** K-core number (coreness) of every vertex via peeling. */
+std::vector<std::uint32_t> kcore(const CsrGraph &g);
+
+/** Betweenness centrality contribution of one @p source (Brandes). */
+std::vector<double> bcFromSource(const CsrGraph &g, VertexId source);
+
+/** True if @p colors is a proper coloring of @p g. */
+bool isProperColoring(const CsrGraph &g,
+                      const std::vector<std::uint32_t> &colors);
+
+} // namespace bauvm::reference
+
+#endif // BAUVM_GRAPH_REFERENCE_ALGORITHMS_H_

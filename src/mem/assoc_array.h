@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Generic set-associative array with true-LRU replacement.
+ *
+ * Shared by the caches, the TLBs, and the page-walk cache. Keys are
+ * 64-bit tags supplied by the owner (which is responsible for folding in
+ * any auxiliary bits such as page versions).
+ */
+
+#ifndef BAUVM_MEM_ASSOC_ARRAY_H_
+#define BAUVM_MEM_ASSOC_ARRAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/log.h"
+
+namespace bauvm
+{
+
+/**
+ * Fixed-geometry set-associative lookup structure.
+ *
+ * An associativity of 0 requests a fully-associative organization
+ * (a single set spanning every entry).
+ */
+class AssocArray
+{
+  public:
+    /**
+     * @param entries        total entry count (> 0).
+     * @param associativity  ways per set; 0 = fully associative.
+     */
+    AssocArray(std::uint32_t entries, std::uint32_t associativity)
+    {
+        if (entries == 0)
+            panic("AssocArray: zero entries");
+        ways_ = associativity == 0 ? entries : associativity;
+        if (entries % ways_ != 0)
+            panic("AssocArray: entries %u not divisible by ways %u",
+                  entries, ways_);
+        sets_ = entries / ways_;
+        lines_.assign(entries, Line{});
+    }
+
+    /**
+     * Looks up @p key; on a hit refreshes its LRU position.
+     * @retval true the key is present.
+     */
+    bool
+    lookup(std::uint64_t key)
+    {
+        Line *line = find(key);
+        if (!line)
+            return false;
+        line->last_use = ++tick_;
+        return true;
+    }
+
+    /** Looks up @p key without touching LRU state. */
+    bool
+    probe(std::uint64_t key) const
+    {
+        const std::size_t set = setOf(key);
+        for (std::size_t w = 0; w < ways_; ++w) {
+            const Line &l = lines_[set * ways_ + w];
+            if (l.valid && l.key == key)
+                return true;
+        }
+        return false;
+    }
+
+    /**
+     * Inserts @p key, evicting the set's LRU entry when needed.
+     *
+     * @param[out] evicted_key  set to the displaced key when an eviction
+     *                          occurred (may be nullptr).
+     * @retval true an existing valid entry was displaced.
+     */
+    bool
+    insert(std::uint64_t key, std::uint64_t *evicted_key = nullptr)
+    {
+        if (Line *hit = find(key)) {
+            hit->last_use = ++tick_;
+            return false;
+        }
+        const std::size_t set = setOf(key);
+        Line *victim = nullptr;
+        for (std::size_t w = 0; w < ways_; ++w) {
+            Line &l = lines_[set * ways_ + w];
+            if (!l.valid) {
+                victim = &l;
+                break;
+            }
+            if (!victim || l.last_use < victim->last_use)
+                victim = &l;
+        }
+        const bool displaced = victim->valid;
+        if (displaced && evicted_key)
+            *evicted_key = victim->key;
+        victim->valid = true;
+        victim->key = key;
+        victim->last_use = ++tick_;
+        return displaced;
+    }
+
+    /** Removes @p key if present. @retval true it was present. */
+    bool
+    invalidate(std::uint64_t key)
+    {
+        if (Line *line = find(key)) {
+            line->valid = false;
+            return true;
+        }
+        return false;
+    }
+
+    /** Invalidates every entry. */
+    void
+    flush()
+    {
+        for (auto &l : lines_)
+            l.valid = false;
+    }
+
+    /** Removes all entries for which @p pred(key) holds. @return count. */
+    template <typename Pred>
+    std::size_t
+    invalidateIf(Pred pred)
+    {
+        std::size_t n = 0;
+        for (auto &l : lines_) {
+            if (l.valid && pred(l.key)) {
+                l.valid = false;
+                ++n;
+            }
+        }
+        return n;
+    }
+
+    std::uint32_t numSets() const { return sets_; }
+    std::uint32_t numWays() const { return ways_; }
+
+    /** Number of currently valid entries. */
+    std::size_t
+    validCount() const
+    {
+        std::size_t n = 0;
+        for (const auto &l : lines_)
+            n += l.valid ? 1 : 0;
+        return n;
+    }
+
+  private:
+    struct Line {
+        bool valid = false;
+        std::uint64_t key = 0;
+        std::uint64_t last_use = 0;
+    };
+
+    std::size_t setOf(std::uint64_t key) const { return key % sets_; }
+
+    Line *
+    find(std::uint64_t key)
+    {
+        const std::size_t set = setOf(key);
+        for (std::size_t w = 0; w < ways_; ++w) {
+            Line &l = lines_[set * ways_ + w];
+            if (l.valid && l.key == key)
+                return &l;
+        }
+        return nullptr;
+    }
+
+    std::uint32_t sets_ = 0;
+    std::uint32_t ways_ = 0;
+    std::uint64_t tick_ = 0;
+    std::vector<Line> lines_;
+};
+
+} // namespace bauvm
+
+#endif // BAUVM_MEM_ASSOC_ARRAY_H_

@@ -1,0 +1,29 @@
+#include "src/mem/cache.h"
+
+namespace bauvm
+{
+
+Cache::Cache(const CacheConfig &config, std::string name)
+    : config_(config), name_(std::move(name)),
+      array_(static_cast<std::uint32_t>(
+                 config.size_bytes / config.line_bytes),
+             config.associativity)
+{
+}
+
+bool
+Cache::access(std::uint64_t line_key, bool write)
+{
+    (void)write; // write-back; writes allocate just like reads
+    if (array_.lookup(line_key)) {
+        ++hits_;
+        return true;
+    }
+    ++misses_;
+    std::uint64_t evicted;
+    if (array_.insert(line_key, &evicted))
+        ++evictions_;
+    return false;
+}
+
+} // namespace bauvm

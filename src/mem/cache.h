@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Set-associative data cache model (L1 per SM, shared L2).
+ *
+ * Functional contents are not stored — the cache only tracks which line
+ * keys are present. Lazy invalidation of evicted UVM pages is achieved
+ * by folding the page version into the line key (see PageTable).
+ */
+
+#ifndef BAUVM_MEM_CACHE_H_
+#define BAUVM_MEM_CACHE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/mem/assoc_array.h"
+#include "src/sim/config.h"
+#include "src/sim/types.h"
+
+namespace bauvm
+{
+
+/** A single cache level; allocate-on-miss, true LRU, write-back. */
+class Cache
+{
+  public:
+    Cache(const CacheConfig &config, std::string name);
+
+    /**
+     * Accesses the line identified by @p line_key.
+     *
+     * On a miss the line is filled immediately (the latency of the fill
+     * is charged by the MemoryHierarchy, not here).
+     *
+     * @retval true  hit.
+     */
+    bool access(std::uint64_t line_key, bool write);
+
+    Cycle hitLatency() const { return config_.hit_latency; }
+    std::uint32_t lineBytes() const { return config_.line_bytes; }
+    const std::string &name() const { return name_; }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t evictions() const { return evictions_; }
+
+    double
+    hitRate() const
+    {
+        const auto total = hits_ + misses_;
+        return total ? static_cast<double>(hits_) / total : 0.0;
+    }
+
+  private:
+    CacheConfig config_;
+    std::string name_;
+    AssocArray array_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace bauvm
+
+#endif // BAUVM_MEM_CACHE_H_

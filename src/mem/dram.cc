@@ -1,0 +1,24 @@
+#include "src/mem/dram.h"
+
+namespace bauvm
+{
+
+Dram::Dram(const MemConfig &config) : config_(config)
+{
+}
+
+Cycle
+Dram::access(std::uint64_t bytes, Cycle start)
+{
+    ++accesses_;
+    bytes_ += bytes;
+    const Cycle begin = start > channel_free_ ? start : channel_free_;
+    queueing_cycles_ += begin - start;
+    Cycle occupancy = bytes / config_.dram_bytes_per_cycle;
+    if (occupancy == 0)
+        occupancy = 1;
+    channel_free_ = begin + occupancy;
+    return begin + config_.dram_latency + occupancy;
+}
+
+} // namespace bauvm

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * GPU device-memory (DRAM) timing: fixed latency plus a shared
+ * bandwidth server.
+ */
+
+#ifndef BAUVM_MEM_DRAM_H_
+#define BAUVM_MEM_DRAM_H_
+
+#include <cstdint>
+
+#include "src/sim/config.h"
+#include "src/sim/types.h"
+
+namespace bauvm
+{
+
+/**
+ * Models device memory as an access latency in series with a single
+ * bandwidth-limited channel. Requests are granted channel time in
+ * arrival order (the event queue guarantees arrival-order invocation).
+ */
+class Dram
+{
+  public:
+    explicit Dram(const MemConfig &config);
+
+    /**
+     * Services a @p bytes transfer requested at cycle @p start.
+     * @return completion cycle.
+     */
+    Cycle access(std::uint64_t bytes, Cycle start);
+
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t bytesTransferred() const { return bytes_; }
+
+    /** Total cycles spent waiting for the channel, summed over accesses. */
+    std::uint64_t queueingCycles() const { return queueing_cycles_; }
+
+  private:
+    MemConfig config_;
+    Cycle channel_free_ = 0;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t bytes_ = 0;
+    std::uint64_t queueing_cycles_ = 0;
+};
+
+} // namespace bauvm
+
+#endif // BAUVM_MEM_DRAM_H_

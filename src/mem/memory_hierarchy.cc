@@ -1,0 +1,110 @@
+#include "src/mem/memory_hierarchy.h"
+
+#include <string>
+
+#include "src/sim/log.h"
+
+namespace bauvm
+{
+
+MemoryHierarchy::MemoryHierarchy(const MemConfig &config,
+                                 std::uint32_t num_sms,
+                                 std::uint64_t page_bytes,
+                                 const PageTable &page_table)
+    : config_(config), page_bytes_(page_bytes), page_table_(page_table),
+      l2_tlb_(std::make_unique<Tlb>(config.l2_tlb, "l2tlb")),
+      l2_cache_(std::make_unique<Cache>(config.l2, "l2")),
+      walker_(config), dram_(config), mshrs_(num_sms)
+{
+    l1_tlbs_.reserve(num_sms);
+    l1_caches_.reserve(num_sms);
+    for (std::uint32_t i = 0; i < num_sms; ++i) {
+        l1_tlbs_.push_back(std::make_unique<Tlb>(
+            config.l1_tlb, "l1tlb" + std::to_string(i)));
+        l1_caches_.push_back(std::make_unique<Cache>(
+            config.l1, "l1" + std::to_string(i)));
+    }
+}
+
+std::uint64_t
+MemoryHierarchy::lineKey(VAddr vaddr) const
+{
+    const std::uint64_t line = vaddr / config_.l1.line_bytes;
+    const PageNum vpn = vaddr / page_bytes_;
+    const std::uint64_t version = page_table_.version(vpn);
+    // Virtual addresses stay far below 2^40 (the device allocator hands
+    // out low addresses), so versions fit above the line index.
+    return (version << 40) ^ line;
+}
+
+std::pair<bool, Cycle>
+MemoryHierarchy::translate(std::uint32_t sm, PageNum vpn, Cycle start)
+{
+    Tlb &l1 = *l1_tlbs_[sm];
+    Cycle t = start + l1.hitLatency();
+    if (l1.lookup(vpn))
+        return {false, t};
+
+    t += l2_tlb_->hitLatency();
+    if (l2_tlb_->lookup(vpn)) {
+        l1.insert(vpn);
+        return {false, t};
+    }
+
+    const Cycle walk_done = walker_.walk(vpn, t);
+    if (!page_table_.isResident(vpn))
+        return {true, walk_done};
+    l2_tlb_->insert(vpn);
+    l1.insert(vpn);
+    return {false, walk_done};
+}
+
+MemResult
+MemoryHierarchy::access(std::uint32_t sm, VAddr vaddr, bool write,
+                        Cycle start)
+{
+    if (sm >= l1_tlbs_.size())
+        panic("MemoryHierarchy: SM index %u out of range", sm);
+    ++accesses_;
+
+    const PageNum vpn = vaddr / page_bytes_;
+    auto [fault, t] = translate(sm, vpn, start);
+    if (fault) {
+        ++faults_;
+        return MemResult{true, vpn, t};
+    }
+
+    const std::uint64_t key = lineKey(vaddr);
+    Cache &l1 = *l1_caches_[sm];
+    t += l1.hitLatency();
+    if (l1.access(key, write))
+        return MemResult{false, 0, t};
+
+    // L1 miss: consume an MSHR for the duration of the fill.
+    auto &mshr = mshrs_[sm];
+    while (!mshr.empty() && mshr.top() <= t)
+        mshr.pop();
+    if (mshr.size() >= config_.mshrs_per_sm) {
+        const Cycle avail = mshr.top();
+        mshr.pop();
+        mshr_stall_cycles_ += avail - t;
+        t = avail;
+    }
+
+    t += l2_cache_->hitLatency() + extra_l2_latency_;
+    if (!l2_cache_->access(key, write))
+        t = dram_.access(config_.l2.line_bytes, t);
+
+    mshr.push(t);
+    return MemResult{false, 0, t};
+}
+
+void
+MemoryHierarchy::invalidatePage(PageNum vpn)
+{
+    for (auto &tlb : l1_tlbs_)
+        tlb->invalidate(vpn);
+    l2_tlb_->invalidate(vpn);
+}
+
+} // namespace bauvm

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The composed GPU memory system: per-SM L1 caches and L1 TLBs, a shared
+ * L2 cache and L2 TLB, the shared page-table walker, and device memory.
+ *
+ * This is the single entry point the SMs use for every coalesced memory
+ * transaction. It returns either a completion cycle or a page-fault
+ * indication (the UVM runtime owns fault handling).
+ */
+
+#ifndef BAUVM_MEM_MEMORY_HIERARCHY_H_
+#define BAUVM_MEM_MEMORY_HIERARCHY_H_
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/mem/cache.h"
+#include "src/mem/dram.h"
+#include "src/mem/page_table.h"
+#include "src/mem/page_table_walker.h"
+#include "src/mem/tlb.h"
+#include "src/sim/config.h"
+#include "src/sim/types.h"
+
+namespace bauvm
+{
+
+/** Outcome of one memory transaction. */
+struct MemResult {
+    bool fault = false; //!< page not resident; the access did not finish
+    PageNum vpn = 0;    //!< faulting virtual page (valid when fault)
+    Cycle done = 0;     //!< completion cycle when !fault; for a fault,
+                        //!< the cycle at which the fault was detected
+};
+
+/**
+ * Timing and (presence-only) functional model of the GPU memory system.
+ */
+class MemoryHierarchy
+{
+  public:
+    /**
+     * @param config      memory-system parameters.
+     * @param num_sms     number of SMs (determines private structures).
+     * @param page_bytes  UVM page size, used to split addresses.
+     * @param page_table  the GPU page table holding residency (owned by
+     *                    the UVM memory manager; must outlive this).
+     */
+    MemoryHierarchy(const MemConfig &config, std::uint32_t num_sms,
+                    std::uint64_t page_bytes, const PageTable &page_table);
+
+    /**
+     * Performs one line-granular transaction for SM @p sm.
+     *
+     * Translation walks L1 TLB -> L2 TLB -> page-table walker; if the
+     * page is not resident the result is a fault stamped at walk
+     * completion. Otherwise the data access proceeds L1 -> L2 -> DRAM.
+     */
+    MemResult access(std::uint32_t sm, VAddr vaddr, bool write,
+                     Cycle start);
+
+    /**
+     * Invalidate all TLB entries for @p vpn (eviction shootdown).
+     * Cache lines die lazily through the page-version tag bits.
+     */
+    void invalidatePage(PageNum vpn);
+
+    /** Additional latency on every L2 access (ETC capacity compression). */
+    void setExtraL2Latency(Cycle extra) { extra_l2_latency_ = extra; }
+
+    /** Extra latency the SM charges for atomic operations. */
+    Cycle atomicLatency() const { return config_.atomic_latency; }
+
+    const Tlb &l1Tlb(std::uint32_t sm) const { return *l1_tlbs_[sm]; }
+    const Tlb &l2Tlb() const { return *l2_tlb_; }
+    const Cache &l1Cache(std::uint32_t sm) const { return *l1_caches_[sm]; }
+    const Cache &l2Cache() const { return *l2_cache_; }
+    const PageTableWalker &walker() const { return walker_; }
+    const Dram &dram() const { return dram_; }
+
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t faults() const { return faults_; }
+
+    /** Cycles a transaction waited because the SM's MSHRs were full. */
+    std::uint64_t mshrStallCycles() const { return mshr_stall_cycles_; }
+
+  private:
+    /** Translates @p vpn. Returns {fault?, cycle translation resolved}. */
+    std::pair<bool, Cycle> translate(std::uint32_t sm, PageNum vpn,
+                                     Cycle start);
+
+    /** Line key folding the page version in for lazy invalidation. */
+    std::uint64_t lineKey(VAddr vaddr) const;
+
+    MemConfig config_;
+    std::uint64_t page_bytes_;
+    const PageTable &page_table_;
+    std::vector<std::unique_ptr<Tlb>> l1_tlbs_;
+    std::vector<std::unique_ptr<Cache>> l1_caches_;
+    std::unique_ptr<Tlb> l2_tlb_;
+    std::unique_ptr<Cache> l2_cache_;
+    PageTableWalker walker_;
+    Dram dram_;
+    Cycle extra_l2_latency_ = 0;
+    /** Per-SM outstanding-miss completion times (MSHR occupancy). */
+    std::vector<std::priority_queue<Cycle, std::vector<Cycle>,
+                                    std::greater<>>> mshrs_;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t faults_ = 0;
+    std::uint64_t mshr_stall_cycles_ = 0;
+};
+
+} // namespace bauvm
+
+#endif // BAUVM_MEM_MEMORY_HIERARCHY_H_

@@ -1,0 +1,39 @@
+#include "src/mem/page_table.h"
+
+#include "src/sim/log.h"
+
+namespace bauvm
+{
+
+void
+PageTable::map(PageNum vpn, FrameNum frame)
+{
+    auto [it, inserted] = mappings_.emplace(vpn, frame);
+    (void)it;
+    if (!inserted)
+        panic("PageTable: double map of vpn %llu",
+              static_cast<unsigned long long>(vpn));
+}
+
+void
+PageTable::unmap(PageNum vpn)
+{
+    auto it = mappings_.find(vpn);
+    if (it == mappings_.end())
+        panic("PageTable: unmap of non-resident vpn %llu",
+              static_cast<unsigned long long>(vpn));
+    mappings_.erase(it);
+    ++versions_[vpn];
+}
+
+FrameNum
+PageTable::frameOf(PageNum vpn) const
+{
+    auto it = mappings_.find(vpn);
+    if (it == mappings_.end())
+        panic("PageTable: frameOf non-resident vpn %llu",
+              static_cast<unsigned long long>(vpn));
+    return it->second;
+}
+
+} // namespace bauvm

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * GPU-side page table: virtual-page -> frame mapping plus residency.
+ *
+ * The functional side is a hash map; the multi-level structure only
+ * matters for walk timing, which PageTableWalker models using the level
+ * count and the page-walk cache.
+ */
+
+#ifndef BAUVM_MEM_PAGE_TABLE_H_
+#define BAUVM_MEM_PAGE_TABLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/sim/types.h"
+
+namespace bauvm
+{
+
+/**
+ * Maps virtual pages to GPU device-memory frames.
+ *
+ * A page is "resident" when it has a valid mapping. Each page also
+ * carries a version counter that is bumped on unmap; the caches fold the
+ * version into their tags, which invalidates stale lines in O(1) when a
+ * page is evicted.
+ */
+class PageTable
+{
+  public:
+    /** Maps @p vpn to @p frame. @pre the page is not currently mapped. */
+    void map(PageNum vpn, FrameNum frame);
+
+    /** Unmaps @p vpn and bumps its version. @pre the page is mapped. */
+    void unmap(PageNum vpn);
+
+    /** True when @p vpn has a valid GPU mapping. */
+    bool isResident(PageNum vpn) const
+    {
+        return mappings_.find(vpn) != mappings_.end();
+    }
+
+    /** Frame backing @p vpn. @pre isResident(vpn). */
+    FrameNum frameOf(PageNum vpn) const;
+
+    /**
+     * Version of @p vpn, incremented whenever the page is unmapped.
+     * Used by the cache layer for lazy invalidation.
+     */
+    std::uint32_t version(PageNum vpn) const
+    {
+        auto it = versions_.find(vpn);
+        return it == versions_.end() ? 0 : it->second;
+    }
+
+    /** Number of resident pages. */
+    std::size_t residentPages() const { return mappings_.size(); }
+
+  private:
+    std::unordered_map<PageNum, FrameNum> mappings_;
+    std::unordered_map<PageNum, std::uint32_t> versions_;
+};
+
+} // namespace bauvm
+
+#endif // BAUVM_MEM_PAGE_TABLE_H_

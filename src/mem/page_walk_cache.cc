@@ -1,0 +1,3 @@
+// PageWalkCache is header-only; this file exists so the build system has
+// a translation unit to attach the module to.
+#include "src/mem/page_walk_cache.h"

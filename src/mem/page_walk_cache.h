@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Page-walk cache: caches upper-level page-table entries.
+ *
+ * Accesses to upper levels of a multi-level page table have strong
+ * temporal locality, so GPUs adopt a walk cache (Barr et al., adopted
+ * for GPUs by Power et al.). Keys combine the level with the
+ * level-appropriate slice of the virtual page number.
+ */
+
+#ifndef BAUVM_MEM_PAGE_WALK_CACHE_H_
+#define BAUVM_MEM_PAGE_WALK_CACHE_H_
+
+#include <cstdint>
+
+#include "src/mem/assoc_array.h"
+#include "src/sim/types.h"
+
+namespace bauvm
+{
+
+/** Caches intermediate page-table entries to accelerate walks. */
+class PageWalkCache
+{
+  public:
+    /** @param entries total capacity (fully associative). */
+    explicit PageWalkCache(std::uint32_t entries)
+        : array_(entries, 0)
+    {
+    }
+
+    /**
+     * Looks up the entry for @p level covering @p vpn.
+     *
+     * @param level 1-based page-table level, 1 = topmost.
+     * @param vpn   the virtual page being walked.
+     * @retval true the intermediate entry was cached.
+     */
+    bool
+    lookup(std::uint32_t level, PageNum vpn)
+    {
+        if (array_.lookup(key(level, vpn))) {
+            ++hits_;
+            return true;
+        }
+        ++misses_;
+        return false;
+    }
+
+    /** Installs the intermediate entry for (@p level, @p vpn). */
+    void insert(std::uint32_t level, PageNum vpn)
+    {
+        array_.insert(key(level, vpn));
+    }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    /**
+     * Entries at level L cover 9 * (levels_below) bits of VPN, mirroring
+     * x86-style 512-ary radix tables.
+     */
+    static std::uint64_t
+    key(std::uint32_t level, PageNum vpn)
+    {
+        const std::uint32_t shift = 9u * level;
+        return (static_cast<std::uint64_t>(level) << 56) |
+               (shift < 56 ? (vpn >> shift) : 0);
+    }
+
+    AssocArray array_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace bauvm
+
+#endif // BAUVM_MEM_PAGE_WALK_CACHE_H_

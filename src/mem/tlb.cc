@@ -1,0 +1,41 @@
+#include "src/mem/tlb.h"
+
+namespace bauvm
+{
+
+Tlb::Tlb(const TlbConfig &config, std::string name)
+    : config_(config), name_(std::move(name)),
+      array_(config.entries, config.associativity)
+{
+}
+
+bool
+Tlb::lookup(PageNum vpn)
+{
+    if (array_.lookup(vpn)) {
+        ++hits_;
+        return true;
+    }
+    ++misses_;
+    return false;
+}
+
+void
+Tlb::insert(PageNum vpn)
+{
+    array_.insert(vpn);
+}
+
+void
+Tlb::invalidate(PageNum vpn)
+{
+    array_.invalidate(vpn);
+}
+
+void
+Tlb::flush()
+{
+    array_.flush();
+}
+
+} // namespace bauvm

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Translation lookaside buffer model (used for both L1 and L2 TLBs).
+ */
+
+#ifndef BAUVM_MEM_TLB_H_
+#define BAUVM_MEM_TLB_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/mem/assoc_array.h"
+#include "src/sim/config.h"
+#include "src/sim/types.h"
+
+namespace bauvm
+{
+
+/**
+ * A TLB caching virtual-page translations.
+ *
+ * Only presence is tracked (the functional frame number lives in the
+ * PageTable); timing comes from the configured hit latency, charged by
+ * the MemoryHierarchy.
+ */
+class Tlb
+{
+  public:
+    Tlb(const TlbConfig &config, std::string name);
+
+    /** Looks up @p vpn, updating LRU and hit/miss statistics. */
+    bool lookup(PageNum vpn);
+
+    /** Installs a translation for @p vpn (possibly evicting LRU). */
+    void insert(PageNum vpn);
+
+    /** Drops the translation for @p vpn (eviction shootdown). */
+    void invalidate(PageNum vpn);
+
+    /** Drops every translation. */
+    void flush();
+
+    Cycle hitLatency() const { return config_.hit_latency; }
+    const std::string &name() const { return name_; }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+    /** Hit rate in [0,1]; 0 when no accesses happened. */
+    double
+    hitRate() const
+    {
+        const auto total = hits_ + misses_;
+        return total ? static_cast<double>(hits_) / total : 0.0;
+    }
+
+  private:
+    TlbConfig config_;
+    std::string name_;
+    AssocArray array_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace bauvm
+
+#endif // BAUVM_MEM_TLB_H_

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * Every timing component in the simulator (SMs, caches, the UVM runtime,
+ * the PCIe link, ...) schedules closures on a single global-ordered event
+ * queue. Events scheduled for the same cycle execute in insertion order,
+ * which makes simulations bit-reproducible for a fixed seed.
+ */
+
+#ifndef BAUVM_SIM_EVENT_QUEUE_H_
+#define BAUVM_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/types.h"
+
+namespace bauvm
+{
+
+/** Opaque handle used to cancel a scheduled event. */
+using EventId = std::uint64_t;
+
+/**
+ * A time-ordered queue of callbacks driving the whole simulation.
+ *
+ * The queue is strictly single-threaded. run() drains events until the
+ * queue is empty or a stop condition is requested; components may keep
+ * scheduling new events from inside callbacks.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time in cycles. */
+    Cycle now() const { return now_; }
+
+    /**
+     * Schedules @p cb to run at absolute cycle @p when.
+     *
+     * @pre when >= now(); scheduling in the past is a simulator bug.
+     * @return an id that can be passed to cancel().
+     */
+    EventId scheduleAt(Cycle when, Callback cb);
+
+    /** Schedules @p cb to run @p delay cycles from now. */
+    EventId scheduleAfter(Cycle delay, Callback cb)
+    {
+        return scheduleAt(now_ + delay, std::move(cb));
+    }
+
+    /**
+     * Cancels a previously scheduled event.
+     *
+     * @retval true the event was pending and has been cancelled.
+     * @retval false the event already ran or was already cancelled.
+     */
+    bool cancel(EventId id);
+
+    /** Number of events still pending (cancelled events excluded). */
+    std::size_t pendingEvents() const { return pending_; }
+
+    /** True if no runnable event remains. */
+    bool empty() const { return pending_ == 0; }
+
+    /**
+     * Runs events until the queue is empty or @p until is reached.
+     *
+     * @param until  stop once the next event lies strictly beyond this
+     *               cycle (the event is left in the queue). Defaults to
+     *               "run to completion".
+     * @return the number of events executed.
+     */
+    std::uint64_t run(Cycle until = kCycleNever);
+
+    /** Executes exactly one event if available. @return true if one ran. */
+    bool step();
+
+    /** Requests run() to return before dispatching the next event. */
+    void requestStop() { stop_requested_ = true; }
+
+    /** Total events executed over the queue's lifetime. */
+    std::uint64_t executedEvents() const { return executed_; }
+
+  private:
+    struct Entry {
+        Cycle when;
+        std::uint64_t seq; //!< tie-breaker: insertion order
+        EventId id;
+        bool operator>(const Entry &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    bool popNext(Entry &out);
+
+    Cycle now_ = 0;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t executed_ = 0;
+    std::size_t pending_ = 0;
+    bool stop_requested_ = false;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    // Callbacks keyed by id; erased on execution/cancellation. Kept apart
+    // from the heap so cancel() is O(1).
+    std::unordered_map<EventId, Callback> callbacks_;
+};
+
+} // namespace bauvm
+
+#endif // BAUVM_SIM_EVENT_QUEUE_H_

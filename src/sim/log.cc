@@ -1,0 +1,87 @@
+#include "src/sim/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bauvm
+{
+
+namespace
+{
+LogLevel g_level = LogLevel::Warn;
+
+void
+vprint(const char *tag, const char *fmt, std::va_list ap)
+{
+    std::fprintf(stderr, "%s: ", tag);
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "\n");
+}
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (g_level < LogLevel::Info)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    vprint("info", fmt, ap);
+    va_end(ap);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (g_level < LogLevel::Warn)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    vprint("warn", fmt, ap);
+    va_end(ap);
+}
+
+void
+debugLog(const char *fmt, ...)
+{
+    if (g_level < LogLevel::Debug)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    vprint("debug", fmt, ap);
+    va_end(ap);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    vprint("panic", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    vprint("fatal", fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+} // namespace bauvm

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Minimal logging and error-termination helpers.
+ *
+ * Follows the gem5 convention: panic() flags a simulator bug and aborts;
+ * fatal() flags a user/configuration error and exits cleanly; warn() and
+ * inform() print status without stopping the simulation.
+ */
+
+#ifndef BAUVM_SIM_LOG_H_
+#define BAUVM_SIM_LOG_H_
+
+#include <cstdarg>
+
+namespace bauvm
+{
+
+/** Verbosity levels, in increasing order of noise. */
+enum class LogLevel { Quiet = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/** Sets the process-wide verbosity (default: Warn). */
+void setLogLevel(LogLevel level);
+
+/** Current process-wide verbosity. */
+LogLevel logLevel();
+
+/** Prints an informational message when verbosity >= Info. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Prints a warning when verbosity >= Warn. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Prints a debug message when verbosity >= Debug. */
+void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Aborts: something happened that must never happen regardless of user
+ * input (i.e. a simulator bug).
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Exits with an error: the simulation cannot continue because of a user
+ * error (bad configuration, invalid arguments, ...).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace bauvm
+
+#endif // BAUVM_SIM_LOG_H_

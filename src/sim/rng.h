@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in the simulator (graph generation, workload
+ * shuffles) flows through Rng so a fixed seed reproduces an identical
+ * simulation, which the test suite relies on.
+ */
+
+#ifndef BAUVM_SIM_RNG_H_
+#define BAUVM_SIM_RNG_H_
+
+#include <cstdint>
+
+namespace bauvm
+{
+
+/**
+ * A small, fast, seedable generator (xoshiro256**).
+ *
+ * Not cryptographic; chosen for speed and reproducibility across
+ * platforms (unlike std::mt19937 distributions, all derived values here
+ * are computed with explicit integer arithmetic).
+ */
+class Rng
+{
+  public:
+    /** Constructs a generator from a 64-bit seed via splitmix64. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi]. @pre lo <= hi. */
+    std::uint64_t nextRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability @p p of returning true. */
+    bool nextBool(double p);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace bauvm
+
+#endif // BAUVM_SIM_RNG_H_

@@ -1,0 +1,91 @@
+#include "src/sim/stats.h"
+
+#include <cmath>
+
+#include "src/sim/log.h"
+
+namespace bauvm
+{
+
+Histogram::Histogram(double bucket_width, std::size_t num_buckets)
+    : width_(bucket_width), buckets_(num_buckets, 0)
+{
+    if (bucket_width <= 0.0 || num_buckets == 0)
+        panic("Histogram: invalid geometry");
+}
+
+void
+Histogram::add(double v)
+{
+    summary_.add(v);
+    if (v < 0.0) {
+        // Negative samples indicate a bug in the caller.
+        panic("Histogram: negative sample %f", v);
+    }
+    auto idx = static_cast<std::size_t>(v / width_);
+    if (idx < buckets_.size())
+        ++buckets_[idx];
+    else
+        ++overflow_;
+}
+
+std::uint64_t
+Histogram::bucketCount(std::size_t i) const
+{
+    if (i >= buckets_.size())
+        panic("Histogram: bucket index out of range");
+    return buckets_[i];
+}
+
+double
+Histogram::bucketFraction(std::size_t i) const
+{
+    const auto total = summary_.count();
+    return total ? static_cast<double>(bucketCount(i)) / total : 0.0;
+}
+
+void
+StatRegistry::add(std::string name, Getter getter)
+{
+    stats_.emplace_back(std::move(name), std::move(getter));
+}
+
+void
+StatRegistry::add(std::string name, const std::uint64_t *counter)
+{
+    add(std::move(name),
+        [counter] { return static_cast<double>(*counter); });
+}
+
+std::vector<std::pair<std::string, double>>
+StatRegistry::snapshot() const
+{
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(stats_.size());
+    for (const auto &[name, getter] : stats_)
+        out.emplace_back(name, getter());
+    return out;
+}
+
+double
+StatRegistry::value(const std::string &name) const
+{
+    for (const auto &[n, getter] : stats_) {
+        if (n == name)
+            return getter();
+    }
+    panic("StatRegistry: unknown stat '%s'", name.c_str());
+}
+
+bool
+StatRegistry::has(const std::string &name) const
+{
+    for (const auto &[n, getter] : stats_) {
+        (void)getter;
+        if (n == name)
+            return true;
+    }
+    return false;
+}
+
+} // namespace bauvm

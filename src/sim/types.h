@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every subsystem of the simulator.
+ *
+ * The simulated GPU runs at 1 GHz, so one cycle equals one nanosecond;
+ * all latency parameters expressed in microseconds in the paper (e.g. the
+ * 20 us GPU-runtime fault-handling time) convert to cycles by multiplying
+ * by 1000.
+ */
+
+#ifndef BAUVM_SIM_TYPES_H_
+#define BAUVM_SIM_TYPES_H_
+
+#include <cstdint>
+
+namespace bauvm
+{
+
+/** Simulated time, measured in GPU core cycles (1 cycle == 1 ns). */
+using Cycle = std::uint64_t;
+
+/** Virtual address within the unified CPU/GPU address space. */
+using VAddr = std::uint64_t;
+
+/** Physical address within the GPU device memory. */
+using PAddr = std::uint64_t;
+
+/** Virtual page number (VAddr >> pageShift). */
+using PageNum = std::uint64_t;
+
+/** Physical frame number in GPU device memory. */
+using FrameNum = std::uint64_t;
+
+/** Number of cycles per simulated microsecond (1 GHz core clock). */
+constexpr Cycle kCyclesPerUs = 1000;
+
+/** An impossibly large cycle value used as "never". */
+constexpr Cycle kCycleNever = ~Cycle{0};
+
+/** Converts microseconds to cycles at the 1 GHz core clock. */
+constexpr Cycle
+usToCycles(double us)
+{
+    return static_cast<Cycle>(us * static_cast<double>(kCyclesPerUs));
+}
+
+} // namespace bauvm
+
+#endif // BAUVM_SIM_TYPES_H_

@@ -1,0 +1,39 @@
+#include "src/uvm/compression.h"
+
+#include "src/sim/log.h"
+
+namespace bauvm
+{
+
+CompressionModel::CompressionModel(double mean_ratio, double spread)
+    : mean_ratio_(mean_ratio), spread_(spread)
+{
+    if (mean_ratio < 1.0)
+        fatal("CompressionModel: ratio below 1 (%f)", mean_ratio);
+}
+
+double
+CompressionModel::ratioFor(PageNum vpn) const
+{
+    if (!enabled())
+        return 1.0;
+    // splitmix64-style hash of the page number -> uniform in [-1, 1).
+    std::uint64_t z = vpn + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    const double u = static_cast<double>(z >> 11) * 0x1.0p-53; // [0,1)
+    const double ratio = mean_ratio_ * (1.0 + spread_ * (2.0 * u - 1.0));
+    return ratio < 1.0 ? 1.0 : ratio;
+}
+
+std::uint64_t
+CompressionModel::compressedBytes(PageNum vpn, std::uint64_t bytes) const
+{
+    const auto out =
+        static_cast<std::uint64_t>(static_cast<double>(bytes) /
+                                   ratioFor(vpn));
+    return out == 0 ? 1 : out;
+}
+
+} // namespace bauvm

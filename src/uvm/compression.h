@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Compression models used by two baselines:
+ *
+ *  - PCIe (de)compression ("BASELINE with PCIe Compression" in Fig 11):
+ *    pages are compressed before crossing the link, shrinking transfer
+ *    time by a per-page ratio.
+ *  - Capacity compression (the CC component of ETC, Li et al.): the
+ *    effective GPU memory capacity grows by the mean ratio at the cost
+ *    of extra latency on every L2 access.
+ *
+ * Per-page ratios are deterministic pseudo-random values derived from
+ * the page number, spread around the configured mean, mimicking the
+ * content-dependent variance of real compressors.
+ */
+
+#ifndef BAUVM_UVM_COMPRESSION_H_
+#define BAUVM_UVM_COMPRESSION_H_
+
+#include <cstdint>
+
+#include "src/sim/types.h"
+
+namespace bauvm
+{
+
+/** Deterministic per-page compression-ratio model. */
+class CompressionModel
+{
+  public:
+    /**
+     * @param mean_ratio  average compression ratio (>= 1); 1.0 disables
+     *                    compression entirely.
+     * @param spread      half-width of the uniform ratio band around the
+     *                    mean, as a fraction of the mean (default 0.25).
+     */
+    explicit CompressionModel(double mean_ratio, double spread = 0.25);
+
+    /** Whether compression is active (mean ratio > 1). */
+    bool enabled() const { return mean_ratio_ > 1.0; }
+
+    /** Compression ratio for page @p vpn (always >= 1). */
+    double ratioFor(PageNum vpn) const;
+
+    /** Size of @p bytes from page @p vpn after compression. */
+    std::uint64_t compressedBytes(PageNum vpn, std::uint64_t bytes) const;
+
+    double meanRatio() const { return mean_ratio_; }
+
+  private:
+    double mean_ratio_;
+    double spread_;
+};
+
+} // namespace bauvm
+
+#endif // BAUVM_UVM_COMPRESSION_H_

@@ -1,0 +1,54 @@
+#include "src/uvm/fault_buffer.h"
+
+#include "src/sim/log.h"
+
+namespace bauvm
+{
+
+FaultBuffer::FaultBuffer(std::uint32_t capacity) : capacity_(capacity)
+{
+    if (capacity == 0)
+        fatal("FaultBuffer: capacity must be positive");
+}
+
+void
+FaultBuffer::insert(PageNum vpn, Cycle now)
+{
+    ++total_faults_;
+    auto it = index_.find(vpn);
+    if (it != index_.end()) {
+        ++order_[it->second].duplicates;
+        return;
+    }
+    if (order_.size() >= capacity_) {
+        ++overflows_;
+        // Merge duplicates within the overflow queue as well.
+        for (auto &rec : overflow_) {
+            if (rec.vpn == vpn) {
+                ++rec.duplicates;
+                return;
+            }
+        }
+        overflow_.push_back(FaultRecord{vpn, now, 1});
+        return;
+    }
+    index_.emplace(vpn, order_.size());
+    order_.push_back(FaultRecord{vpn, now, 1});
+}
+
+std::vector<FaultRecord>
+FaultBuffer::drain()
+{
+    std::vector<FaultRecord> out = std::move(order_);
+    order_.clear();
+    index_.clear();
+    // Refill from overflow, preserving arrival order.
+    while (!overflow_.empty() && order_.size() < capacity_) {
+        index_.emplace(overflow_.front().vpn, order_.size());
+        order_.push_back(overflow_.front());
+        overflow_.pop_front();
+    }
+    return out;
+}
+
+} // namespace bauvm

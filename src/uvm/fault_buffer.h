@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Hardware page-fault buffer model.
+ *
+ * The GPU MMU appends replayable faults here; the UVM runtime drains the
+ * whole buffer at the start of each batch (Fig 2 of the paper). Real
+ * hardware stores one entry per faulting warp; the runtime's
+ * preprocessing step deduplicates them per page. We store page-granular
+ * entries with a duplicate counter, which preserves both the batch
+ * composition and the occupancy statistics while keeping drain cheap.
+ * Entry capacity is enforced (Table 1: 1024 entries); overflowing faults
+ * are queued aside and re-inserted as entries free up, modelling the
+ * hardware's replay of dropped faults.
+ */
+
+#ifndef BAUVM_UVM_FAULT_BUFFER_H_
+#define BAUVM_UVM_FAULT_BUFFER_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/types.h"
+
+namespace bauvm
+{
+
+/** One page-granular fault record. */
+struct FaultRecord {
+    PageNum vpn = 0;
+    Cycle first_cycle = 0;      //!< when the first fault for the page hit
+    std::uint32_t duplicates = 1; //!< total faulting requests coalesced
+};
+
+/** Bounded buffer of outstanding (not yet batched) page faults. */
+class FaultBuffer
+{
+  public:
+    /** @param capacity maximum distinct-page entries held. */
+    explicit FaultBuffer(std::uint32_t capacity);
+
+    /**
+     * Records a fault on @p vpn at cycle @p now.
+     *
+     * Duplicate faults for a page already buffered merge into its entry.
+     * When the buffer is full, the fault goes to the overflow queue and
+     * is counted in overflows().
+     */
+    void insert(PageNum vpn, Cycle now);
+
+    /**
+     * Removes and returns every buffered entry (batch formation), then
+     * refills from the overflow queue.
+     */
+    std::vector<FaultRecord> drain();
+
+    /** Distinct-page entries currently buffered. */
+    std::size_t size() const { return order_.size(); }
+
+    bool empty() const { return order_.empty() && overflow_.empty(); }
+
+    std::uint32_t capacity() const { return capacity_; }
+
+    /** Total faults that arrived while the buffer was full. */
+    std::uint64_t overflows() const { return overflows_; }
+
+    /** Total insert() calls (including duplicates and overflows). */
+    std::uint64_t totalFaults() const { return total_faults_; }
+
+  private:
+    std::uint32_t capacity_;
+    std::vector<FaultRecord> order_;  //!< insertion-ordered entries
+    std::unordered_map<PageNum, std::size_t> index_; //!< vpn -> order_ idx
+    std::deque<FaultRecord> overflow_;
+    std::uint64_t overflows_ = 0;
+    std::uint64_t total_faults_ = 0;
+};
+
+} // namespace bauvm
+
+#endif // BAUVM_UVM_FAULT_BUFFER_H_

@@ -1,0 +1,110 @@
+#include "src/uvm/gpu_memory_manager.h"
+
+#include <algorithm>
+
+#include "src/sim/log.h"
+
+namespace bauvm
+{
+
+GpuMemoryManager::GpuMemoryManager(const UvmConfig &config,
+                                   std::uint64_t capacity_pages)
+    : config_(config), capacity_pages_(capacity_pages),
+      lifetime_(config.lifetime_window_cycles,
+                config.lifetime_drop_threshold)
+{
+    if (config_.root_chunk_pages == 0)
+        fatal("GpuMemoryManager: root_chunk_pages must be positive");
+}
+
+void
+GpuMemoryManager::setCapacityPages(std::uint64_t pages)
+{
+    if (pages != 0 && pages < committed_) {
+        fatal("GpuMemoryManager: cannot shrink capacity below the %llu "
+              "committed frames",
+              static_cast<unsigned long long>(committed_));
+    }
+    capacity_pages_ = pages;
+}
+
+void
+GpuMemoryManager::reserveFrame()
+{
+    if (!hasFreeFrame())
+        panic("GpuMemoryManager: reserveFrame with no free frame");
+    if (!unlimited())
+        ++committed_;
+}
+
+void
+GpuMemoryManager::commitPage(PageNum vpn, Cycle now)
+{
+    ++migrations_;
+    page_table_.map(vpn, vpn /* identity frames: timing-only model */);
+    alloc_time_[vpn] = now;
+
+    auto ref = pending_refault_.find(vpn);
+    if (ref != pending_refault_.end()) {
+        ++premature_;
+        if (--ref->second == 0)
+            pending_refault_.erase(ref);
+    }
+
+    const std::uint64_t chunk = chunkOf(vpn);
+    chunk_pages_[chunk].push_back(vpn);
+    // Aged-based LRU: a chunk moves to the tail whenever any of its
+    // sub-chunks is allocated (the driver's policy).
+    auto pos = lru_pos_.find(chunk);
+    if (pos != lru_pos_.end())
+        lru_.erase(pos->second);
+    lru_.push_back(chunk);
+    lru_pos_[chunk] = std::prev(lru_.end());
+}
+
+bool
+GpuMemoryManager::beginEviction(PageNum *vpn, Cycle now)
+{
+    if (lru_.empty())
+        return false;
+    const std::uint64_t chunk = lru_.front();
+    auto &pages = chunk_pages_[chunk];
+    if (pages.empty())
+        panic("GpuMemoryManager: LRU chunk with no pages");
+
+    // Evict the chunk's pages one call at a time (oldest allocation
+    // first); the chunk leaves the LRU list when it empties.
+    const PageNum victim = pages.front();
+    pages.erase(pages.begin());
+    if (pages.empty()) {
+        chunk_pages_.erase(chunk);
+        lru_.pop_front();
+        lru_pos_.erase(chunk);
+    }
+
+    page_table_.unmap(victim);
+    ++evictions_;
+    ++pending_refault_[victim];
+
+    auto at = alloc_time_.find(victim);
+    if (at == alloc_time_.end())
+        panic("GpuMemoryManager: victim with no allocation time");
+    lifetime_.addLifetime(now - at->second);
+    alloc_time_.erase(at);
+
+    *vpn = victim;
+    return true;
+}
+
+void
+GpuMemoryManager::completeEviction(PageNum vpn)
+{
+    (void)vpn;
+    if (!unlimited()) {
+        if (committed_ == 0)
+            panic("GpuMemoryManager: completeEviction underflow");
+        --committed_;
+    }
+}
+
+} // namespace bauvm

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * GPU physical-memory manager: frames, residency, aged LRU, and the
+ * premature-eviction bookkeeping.
+ *
+ * Mirrors the structure the paper extracted from NVIDIA driver v396.37:
+ * user memory is tracked in an LRU list of root chunks that is updated
+ * when chunks are *allocated* (aged-based LRU — accesses do not refresh
+ * the list, because the driver never sees them), and eviction picks the
+ * head of that list. The "GPU memory status tracker" that Unobtrusive
+ * Eviction consults in the top-half ISR is the atCapacity() query.
+ */
+
+#ifndef BAUVM_UVM_GPU_MEMORY_MANAGER_H_
+#define BAUVM_UVM_GPU_MEMORY_MANAGER_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "src/mem/page_table.h"
+#include "src/sim/config.h"
+#include "src/sim/types.h"
+#include "src/uvm/lifetime_tracker.h"
+
+namespace bauvm
+{
+
+/** Frames, residency and eviction-victim selection for device memory. */
+class GpuMemoryManager
+{
+  public:
+    /**
+     * @param config          UVM parameters (page size, chunking,
+     *                        lifetime window).
+     * @param capacity_pages  device-memory size in pages; 0 = unlimited.
+     */
+    GpuMemoryManager(const UvmConfig &config,
+                     std::uint64_t capacity_pages);
+
+    /** The GPU page table (shared with the MemoryHierarchy). */
+    PageTable &pageTable() { return page_table_; }
+    const PageTable &pageTable() const { return page_table_; }
+
+    bool unlimited() const { return capacity_pages_ == 0; }
+    std::uint64_t capacityPages() const { return capacity_pages_; }
+
+    /** Grows/shrinks capacity (ETC capacity compression). 0=unlimited. */
+    void setCapacityPages(std::uint64_t pages);
+
+    /**
+     * Frames currently committed (resident pages plus frames reserved
+     * for in-flight inbound transfers, minus frames of pages whose
+     * eviction transfer is still in flight — those frames free only at
+     * eviction completion).
+     */
+    std::uint64_t committedFrames() const { return committed_; }
+
+    /** True if a new frame can be reserved right now. */
+    bool hasFreeFrame() const
+    {
+        return unlimited() || committed_ < capacity_pages_;
+    }
+
+    /** The UE top-half check: no frame headroom left. */
+    bool atCapacity() const { return !hasFreeFrame(); }
+
+    /**
+     * Reserves a frame for an inbound page transfer.
+     * @pre hasFreeFrame().
+     */
+    void reserveFrame();
+
+    /**
+     * Completes an inbound migration: maps @p vpn into the reserved
+     * frame and appends its chunk to the LRU tail.
+     */
+    void commitPage(PageNum vpn, Cycle now);
+
+    /**
+     * Picks the eviction victim (head of the aged-LRU list), unmaps it
+     * and stamps lifetime statistics. The frame stays committed until
+     * completeEviction().
+     *
+     * @param[out] vpn  the victim page.
+     * @retval false no evictable page exists (everything resident is
+     *               already being evicted).
+     */
+    bool beginEviction(PageNum *vpn, Cycle now);
+
+    /** Releases the victim's frame once its D2H transfer finished. */
+    void completeEviction(PageNum vpn);
+
+    /** True when @p vpn currently has a GPU mapping. */
+    bool isResident(PageNum vpn) const
+    {
+        return page_table_.isResident(vpn);
+    }
+
+    LifetimeTracker &lifetimeTracker() { return lifetime_; }
+
+    std::uint64_t evictions() const { return evictions_; }
+
+    /** Evictions whose page was later migrated back (refaulted). */
+    std::uint64_t prematureEvictions() const { return premature_; }
+
+    /** Premature evictions as a fraction of all evictions. */
+    double
+    prematureEvictionRate() const
+    {
+        return evictions_ ? static_cast<double>(premature_) / evictions_
+                          : 0.0;
+    }
+
+    std::uint64_t migrations() const { return migrations_; }
+
+  private:
+    using LruList = std::list<std::uint64_t>; // chunk ids, head = oldest
+
+    std::uint64_t chunkOf(PageNum vpn) const
+    {
+        return vpn / config_.root_chunk_pages;
+    }
+
+    UvmConfig config_;
+    std::uint64_t capacity_pages_;
+    std::uint64_t committed_ = 0;
+    PageTable page_table_;
+    LifetimeTracker lifetime_;
+
+    LruList lru_;
+    std::unordered_map<std::uint64_t, LruList::iterator> lru_pos_;
+    /** Resident pages per chunk (only chunks with > 0 pages tracked). */
+    std::unordered_map<std::uint64_t, std::vector<PageNum>> chunk_pages_;
+    /** Allocation timestamps for lifetime computation. */
+    std::unordered_map<PageNum, Cycle> alloc_time_;
+    /** Outstanding eviction events per page awaiting a refault. */
+    std::unordered_map<PageNum, std::uint32_t> pending_refault_;
+
+    std::uint64_t evictions_ = 0;
+    std::uint64_t premature_ = 0;
+    std::uint64_t migrations_ = 0;
+};
+
+} // namespace bauvm
+
+#endif // BAUVM_UVM_GPU_MEMORY_MANAGER_H_

@@ -1,0 +1,54 @@
+#include "src/uvm/lifetime_tracker.h"
+
+#include "src/sim/log.h"
+
+namespace bauvm
+{
+
+LifetimeTracker::LifetimeTracker(Cycle window_cycles, double drop_threshold)
+    : window_cycles_(window_cycles), drop_threshold_(drop_threshold),
+      window_end_(window_cycles)
+{
+    if (window_cycles == 0)
+        fatal("LifetimeTracker: zero window");
+}
+
+void
+LifetimeTracker::addLifetime(Cycle lifetime)
+{
+    window_.add(static_cast<double>(lifetime));
+    all_lifetimes_.add(static_cast<double>(lifetime));
+}
+
+OversubAdvice
+LifetimeTracker::update(Cycle now)
+{
+    if (now < window_end_)
+        return OversubAdvice::NoChange;
+
+    OversubAdvice advice = OversubAdvice::NoChange;
+    // Close every window the clock has passed. Windows with no evictions
+    // carry no signal; windows with evictions compare their average
+    // lifetime against the running average so far.
+    while (now >= window_end_) {
+        if (window_.count() > 0) {
+            const double avg = window_.mean();
+            const double prev = runningAverage();
+            if (closed_windows_ > 0 &&
+                avg < prev * (1.0 - drop_threshold_)) {
+                advice = OversubAdvice::Throttle;
+                ++throttle_signals_;
+            } else {
+                advice = OversubAdvice::Grow;
+                ++grow_signals_;
+            }
+            running_sum_ += avg;
+            ++closed_windows_;
+            window_.reset();
+        }
+        window_end_ += window_cycles_;
+    }
+    return advice;
+}
+
+} // namespace bauvm

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Page-lifetime tracker: the premature-eviction monitor driving dynamic
+ * control of thread oversubscription.
+ *
+ * The paper (section 4.1): "the GPU runtime monitors the premature
+ * eviction rates by periodically estimating the running average of the
+ * lifetime of pages by tracking when each page is allocated and
+ * evicted... If the running average is decreased by a certain threshold,
+ * the thread oversubscription mechanism does not allow any more context
+ * switching". Window length: 100k cycles; threshold: 20% (Table 1 /
+ * section 5.1).
+ */
+
+#ifndef BAUVM_UVM_LIFETIME_TRACKER_H_
+#define BAUVM_UVM_LIFETIME_TRACKER_H_
+
+#include <cstdint>
+
+#include "src/sim/config.h"
+#include "src/sim/stats.h"
+#include "src/sim/types.h"
+
+namespace bauvm
+{
+
+/** Advice emitted once per window to the oversubscription controller. */
+enum class OversubAdvice {
+    NoChange, //!< window had no signal either way
+    Grow,     //!< lifetimes stable: one more block per SM may be added
+    Throttle, //!< lifetimes collapsed: reduce runnable blocks
+};
+
+/** Tracks page lifetimes in fixed windows and produces advice. */
+class LifetimeTracker
+{
+  public:
+    LifetimeTracker(Cycle window_cycles, double drop_threshold);
+
+    /** Records one page eviction whose page lived @p lifetime cycles. */
+    void addLifetime(Cycle lifetime);
+
+    /**
+     * Advances the tracker to @p now; when one or more windows closed,
+     * compares the newest closed window's average lifetime against the
+     * running average of previous windows.
+     *
+     * @return the advice for the oversubscription controller.
+     */
+    OversubAdvice update(Cycle now);
+
+    /** Running average lifetime over all closed windows (cycles). */
+    double runningAverage() const
+    {
+        return closed_windows_ ? running_sum_ / closed_windows_ : 0.0;
+    }
+
+    std::uint64_t throttleSignals() const { return throttle_signals_; }
+    std::uint64_t growSignals() const { return grow_signals_; }
+
+    const RunningStat &lifetimes() const { return all_lifetimes_; }
+
+  private:
+    Cycle window_cycles_;
+    double drop_threshold_;
+    Cycle window_end_;
+    RunningStat window_;      //!< lifetimes recorded in the open window
+    RunningStat all_lifetimes_;
+    double running_sum_ = 0.0; //!< sum of closed-window averages
+    std::uint64_t closed_windows_ = 0;
+    std::uint64_t throttle_signals_ = 0;
+    std::uint64_t grow_signals_ = 0;
+};
+
+} // namespace bauvm
+
+#endif // BAUVM_UVM_LIFETIME_TRACKER_H_

@@ -1,0 +1,49 @@
+#include "src/uvm/pcie_link.h"
+
+#include "src/sim/log.h"
+
+namespace bauvm
+{
+
+PcieLink::PcieLink(const UvmConfig &config)
+    : h2d_bytes_per_cycle_(config.pcie_gbps), // GB/s at 1 GHz == B/cyc
+      d2h_bytes_per_cycle_(config.pcie_d2h_gbps > 0.0
+                               ? config.pcie_d2h_gbps
+                               : config.pcie_gbps)
+{
+    if (h2d_bytes_per_cycle_ <= 0.0)
+        fatal("PcieLink: non-positive bandwidth");
+}
+
+Cycle
+PcieLink::transferCycles(std::uint64_t bytes, PcieDir dir) const
+{
+    const double rate = dir == PcieDir::HostToDevice
+                            ? h2d_bytes_per_cycle_
+                            : d2h_bytes_per_cycle_;
+    const double cycles = static_cast<double>(bytes) / rate;
+    Cycle c = static_cast<Cycle>(cycles);
+    return c == 0 ? 1 : c;
+}
+
+Cycle
+PcieLink::transfer(PcieDir dir, std::uint64_t bytes, Cycle earliest)
+{
+    Cycle &free = dir == PcieDir::HostToDevice ? h2d_free_ : d2h_free_;
+    const Cycle begin = earliest > free ? earliest : free;
+    const Cycle duration = transferCycles(bytes, dir);
+    free = begin + duration;
+
+    if (dir == PcieDir::HostToDevice) {
+        ++h2d_count_;
+        h2d_bytes_ += bytes;
+        h2d_busy_ += duration;
+    } else {
+        ++d2h_count_;
+        d2h_bytes_ += bytes;
+        d2h_busy_ += duration;
+    }
+    return begin + duration;
+}
+
+} // namespace bauvm

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Full-duplex PCIe interconnect model.
+ *
+ * Two independent, bandwidth-limited channels: host-to-device (page
+ * migrations in) and device-to-host (evictions out). Modern DMA engines
+ * allow simultaneous bidirectional transfers; the baseline's
+ * evict-then-migrate serialization is a *software* ordering imposed by
+ * the UVM runtime, which is exactly what Unobtrusive Eviction removes —
+ * so the link itself never serializes the two directions.
+ */
+
+#ifndef BAUVM_UVM_PCIE_LINK_H_
+#define BAUVM_UVM_PCIE_LINK_H_
+
+#include <cstdint>
+
+#include "src/sim/config.h"
+#include "src/sim/types.h"
+
+namespace bauvm
+{
+
+/** Transfer direction over the link. */
+enum class PcieDir { HostToDevice, DeviceToHost };
+
+/** Bandwidth-server model of the PCIe link (Table 1: 15.75 GB/s). */
+class PcieLink
+{
+  public:
+    explicit PcieLink(const UvmConfig &config);
+
+    /**
+     * Schedules a @p bytes transfer in direction @p dir, requested at
+     * cycle @p earliest. Transfers in the same direction are FIFO.
+     *
+     * @return completion cycle of the transfer.
+     */
+    Cycle transfer(PcieDir dir, std::uint64_t bytes, Cycle earliest);
+
+    /** Earliest cycle at which the given channel is free. */
+    Cycle channelFree(PcieDir dir) const
+    {
+        return dir == PcieDir::HostToDevice ? h2d_free_ : d2h_free_;
+    }
+
+    /** Pure transfer duration of @p bytes at the channel's bandwidth. */
+    Cycle transferCycles(std::uint64_t bytes,
+                         PcieDir dir = PcieDir::HostToDevice) const;
+
+    std::uint64_t transfers(PcieDir dir) const
+    {
+        return dir == PcieDir::HostToDevice ? h2d_count_ : d2h_count_;
+    }
+
+    std::uint64_t bytesMoved(PcieDir dir) const
+    {
+        return dir == PcieDir::HostToDevice ? h2d_bytes_ : d2h_bytes_;
+    }
+
+    /** Cycles the channel was occupied, per direction. */
+    std::uint64_t busyCycles(PcieDir dir) const
+    {
+        return dir == PcieDir::HostToDevice ? h2d_busy_ : d2h_busy_;
+    }
+
+  private:
+    double h2d_bytes_per_cycle_;
+    double d2h_bytes_per_cycle_;
+    Cycle h2d_free_ = 0;
+    Cycle d2h_free_ = 0;
+    std::uint64_t h2d_count_ = 0;
+    std::uint64_t d2h_count_ = 0;
+    std::uint64_t h2d_bytes_ = 0;
+    std::uint64_t d2h_bytes_ = 0;
+    std::uint64_t h2d_busy_ = 0;
+    std::uint64_t d2h_busy_ = 0;
+};
+
+} // namespace bauvm
+
+#endif // BAUVM_UVM_PCIE_LINK_H_

@@ -1,0 +1,109 @@
+#include "src/uvm/prefetcher.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/sim/log.h"
+
+namespace bauvm
+{
+
+TreePrefetcher::TreePrefetcher(const UvmConfig &config, ResidencyFn resident,
+                               ValidFn valid)
+    : config_(config), resident_(std::move(resident)),
+      valid_(std::move(valid))
+{
+    pages_per_block_ = static_cast<std::uint32_t>(
+        config.va_block_bytes / config.page_bytes);
+    if (pages_per_block_ == 0 ||
+        (pages_per_block_ & (pages_per_block_ - 1)) != 0) {
+        fatal("TreePrefetcher: pages per VA block (%u) must be a power "
+              "of two", pages_per_block_);
+    }
+}
+
+std::vector<PageNum>
+TreePrefetcher::computePrefetches(
+    const std::vector<PageNum> &faulted) const
+{
+    return config_.sequential_prefetch_pages > 0
+               ? sequentialPrefetches(faulted)
+               : treePrefetches(faulted);
+}
+
+std::vector<PageNum>
+TreePrefetcher::sequentialPrefetches(
+    const std::vector<PageNum> &faulted) const
+{
+    std::unordered_set<PageNum> faulted_set(faulted.begin(),
+                                            faulted.end());
+    std::unordered_set<PageNum> chosen;
+    for (PageNum vpn : faulted) {
+        for (std::uint32_t i = 1;
+             i <= config_.sequential_prefetch_pages; ++i) {
+            const PageNum next = vpn + i;
+            if (!resident_(next) && !faulted_set.count(next) &&
+                valid_(next)) {
+                chosen.insert(next);
+            }
+        }
+    }
+    std::vector<PageNum> prefetches(chosen.begin(), chosen.end());
+    std::sort(prefetches.begin(), prefetches.end());
+    return prefetches;
+}
+
+std::vector<PageNum>
+TreePrefetcher::treePrefetches(
+    const std::vector<PageNum> &faulted) const
+{
+    // Group the batch's faults by VA block.
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> blocks;
+    for (PageNum vpn : faulted)
+        blocks[vpn / pages_per_block_].push_back(
+            static_cast<std::uint32_t>(vpn % pages_per_block_));
+
+    std::vector<PageNum> prefetches;
+    std::unordered_set<PageNum> faulted_set(faulted.begin(),
+                                            faulted.end());
+
+    for (auto &[block, offsets] : blocks) {
+        const PageNum base = block * pages_per_block_;
+        // Leaf occupancy: resident pages plus this batch's faults.
+        std::vector<bool> occupied(pages_per_block_, false);
+        for (std::uint32_t i = 0; i < pages_per_block_; ++i)
+            occupied[i] = resident_(base + i);
+        for (std::uint32_t off : offsets)
+            occupied[off] = true;
+
+        // Walk subtree sizes 2, 4, ..., pages_per_block_; whenever a
+        // subtree is more than `density` full, fill it completely.
+        for (std::uint32_t span = 2; span <= pages_per_block_; span *= 2) {
+            for (std::uint32_t lo = 0; lo < pages_per_block_; lo += span) {
+                std::uint32_t count = 0;
+                for (std::uint32_t i = lo; i < lo + span; ++i)
+                    count += occupied[i] ? 1 : 0;
+                if (count == span || count == 0)
+                    continue;
+                if (static_cast<double>(count) >
+                    config_.prefetch_density * span) {
+                    for (std::uint32_t i = lo; i < lo + span; ++i)
+                        occupied[i] = true;
+                }
+            }
+        }
+
+        for (std::uint32_t i = 0; i < pages_per_block_; ++i) {
+            const PageNum vpn = base + i;
+            if (occupied[i] && !resident_(vpn) &&
+                !faulted_set.count(vpn) && valid_(vpn)) {
+                prefetches.push_back(vpn);
+            }
+        }
+    }
+    std::sort(prefetches.begin(), prefetches.end());
+    return prefetches;
+}
+
+} // namespace bauvm

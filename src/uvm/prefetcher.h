@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tree-based page prefetcher (the "state-of-the-art page prefetching"
+ * baseline, Zheng et al. HPCA'16 as implemented by the NVIDIA UVM
+ * runtime's preprocess step).
+ *
+ * Pages are grouped into 2 MB virtual-address blocks. Within a block a
+ * full binary tree spans the 64 KB pages; whenever the fraction of a
+ * subtree's pages that are resident-or-faulting exceeds the density
+ * threshold (50%), the remainder of that subtree is appended to the
+ * batch as prefetch requests. The runtime performs this analysis during
+ * batch preprocessing, so prefetches ride along with the demand
+ * migrations of the same batch.
+ */
+
+#ifndef BAUVM_UVM_PREFETCHER_H_
+#define BAUVM_UVM_PREFETCHER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/sim/config.h"
+#include "src/sim/types.h"
+
+namespace bauvm
+{
+
+/** Batch-time tree prefetcher over 2 MB VA blocks. */
+class TreePrefetcher
+{
+  public:
+    using ResidencyFn = std::function<bool(PageNum)>;
+    using ValidFn = std::function<bool(PageNum)>;
+
+    /**
+     * @param config    page size / VA-block size / density threshold.
+     * @param resident  callback telling whether a page already has (or
+     *                  is getting) a GPU frame.
+     * @param valid     callback telling whether a page belongs to an
+     *                  actual allocation (never prefetch holes).
+     */
+    TreePrefetcher(const UvmConfig &config, ResidencyFn resident,
+                   ValidFn valid);
+
+    /**
+     * Computes the prefetch set for one batch.
+     *
+     * @param faulted  distinct demand-faulted pages of the batch.
+     * @return pages to prefetch (disjoint from @p faulted and from
+     *         resident pages), in ascending page order.
+     */
+    std::vector<PageNum> computePrefetches(
+        const std::vector<PageNum> &faulted) const;
+
+    std::uint32_t pagesPerBlock() const { return pages_per_block_; }
+
+  private:
+    /** Tree policy (the default). */
+    std::vector<PageNum> treePrefetches(
+        const std::vector<PageNum> &faulted) const;
+    /** Naive next-N sequential policy (ablation). */
+    std::vector<PageNum> sequentialPrefetches(
+        const std::vector<PageNum> &faulted) const;
+
+    UvmConfig config_;
+    ResidencyFn resident_;
+    ValidFn valid_;
+    std::uint32_t pages_per_block_;
+};
+
+} // namespace bauvm
+
+#endif // BAUVM_UVM_PREFETCHER_H_

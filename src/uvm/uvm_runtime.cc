@@ -1,0 +1,325 @@
+#include "src/uvm/uvm_runtime.h"
+
+#include <algorithm>
+
+#include "src/sim/log.h"
+
+namespace bauvm
+{
+
+UvmRuntime::UvmRuntime(const UvmConfig &config, EventQueue &events,
+                       GpuMemoryManager &manager,
+                       MemoryHierarchy &hierarchy)
+    : config_(config), events_(events), manager_(manager),
+      hierarchy_(hierarchy), fault_buffer_(config.fault_buffer_entries),
+      pcie_(config), pcie_compression_(config.pcie_compression_ratio),
+      prefetcher_(
+          config,
+          [this](PageNum vpn) {
+              return manager_.isResident(vpn) || in_flight_.count(vpn);
+          },
+          [this](PageNum vpn) { return valid_pages_.count(vpn) > 0; }),
+      handling_cycles_(usToCycles(config.fault_handling_us)),
+      interrupt_cycles_(usToCycles(config.interrupt_latency_us))
+{
+}
+
+void
+UvmRuntime::registerAllocation(VAddr base, std::uint64_t bytes)
+{
+    const PageNum first = base / config_.page_bytes;
+    const PageNum last = (base + bytes - 1) / config_.page_bytes;
+    for (PageNum vpn = first; vpn <= last; ++vpn)
+        valid_pages_.insert(vpn);
+}
+
+void
+UvmRuntime::onPageFault(PageNum vpn, WakeFn waiter)
+{
+    const Cycle now = events_.now();
+    if (manager_.isResident(vpn)) {
+        // The page arrived between fault detection and registration
+        // (an earlier waiter's batch already migrated it): replay now.
+        waiter(now);
+        return;
+    }
+    waiters_[vpn].push_back(std::move(waiter));
+    if (in_flight_.count(vpn)) {
+        // Already queued in the active batch; the waiter joins it.
+        return;
+    }
+    fault_buffer_.insert(vpn, now);
+    if (state_ == State::Idle) {
+        state_ = State::InterruptPending;
+        events_.scheduleAfter(interrupt_cycles_, [this] { batchBegin(); });
+    }
+}
+
+void
+UvmRuntime::batchBegin()
+{
+    state_ = State::BatchActive;
+    current_ = BatchRecord{};
+    current_.begin = events_.now();
+    first_transfer_seen_ = false;
+    mig_idx_ = 0;
+    arrivals_pending_ = 0;
+
+    // Unobtrusive Eviction's top-half: consult the memory status tracker
+    // and kick one preemptive eviction before preprocessing even starts,
+    // so the first migration never waits on an eviction.
+    if (config_.unobtrusive_eviction && !config_.ideal_eviction &&
+        manager_.atCapacity() && evictions_in_flight_ == 0) {
+        launchEviction(events_.now());
+    }
+
+    std::vector<FaultRecord> faults = fault_buffer_.drain();
+    std::vector<PageNum> demand;
+    demand.reserve(faults.size());
+    for (const FaultRecord &f : faults) {
+        if (manager_.isResident(f.vpn)) {
+            // Resolved by a prefetch of a previous batch: replay.
+            auto w = waiters_.find(f.vpn);
+            if (w != waiters_.end()) {
+                for (auto &wake : w->second)
+                    wake(events_.now());
+                waiters_.erase(w);
+            }
+            continue;
+        }
+        demand.push_back(f.vpn);
+        current_.duplicate_faults += f.duplicates - 1;
+    }
+    std::sort(demand.begin(), demand.end());
+
+    std::vector<PageNum> prefetch;
+    if (config_.prefetch_enabled)
+        prefetch = prefetcher_.computePrefetches(demand);
+
+    current_.fault_pages = static_cast<std::uint32_t>(demand.size());
+    current_.prefetch_pages = static_cast<std::uint32_t>(prefetch.size());
+    demand_pages_ += demand.size();
+    prefetched_pages_ += prefetch.size();
+
+    migration_queue_.clear();
+    migration_queue_.reserve(demand.size() + prefetch.size());
+    std::merge(demand.begin(), demand.end(), prefetch.begin(),
+               prefetch.end(), std::back_inserter(migration_queue_));
+    for (PageNum vpn : migration_queue_)
+        in_flight_.insert(vpn);
+
+    // Preprocessing (sort, prefetch analysis, CPU page-table walks):
+    // the GPU runtime fault handling time, with a per-fault component
+    // for the CPU-side table walks.
+    const Cycle handling =
+        handling_cycles_ +
+        usToCycles(config_.fault_handling_per_page_us) *
+            current_.fault_pages;
+    events_.scheduleAfter(handling, [this] { pumpMigrations(); });
+}
+
+bool
+UvmRuntime::launchEviction(Cycle earliest)
+{
+    PageNum victim;
+    if (!manager_.beginEviction(&victim, events_.now()))
+        return false;
+    hierarchy_.invalidatePage(victim);
+    ++evictions_in_flight_;
+    if (config_.ideal_eviction) {
+        manager_.completeEviction(victim);
+        --evictions_in_flight_;
+        return true;
+    }
+    const std::uint64_t bytes = pcie_compression_.compressedBytes(
+        victim, config_.page_bytes);
+    const Cycle done = pcie_.transfer(PcieDir::DeviceToHost, bytes,
+                                      earliest);
+    events_.scheduleAt(done,
+                       [this, victim] { onEvictionComplete(victim); });
+    return true;
+}
+
+void
+UvmRuntime::scheduleMigration(PageNum vpn)
+{
+    manager_.reserveFrame();
+    const std::uint64_t bytes = pcie_compression_.compressedBytes(
+        vpn, config_.page_bytes);
+    const Cycle start =
+        std::max(events_.now(), pcie_.channelFree(PcieDir::HostToDevice));
+    const Cycle done = pcie_.transfer(PcieDir::HostToDevice, bytes,
+                                      events_.now());
+    if (!first_transfer_seen_) {
+        first_transfer_seen_ = true;
+        current_.first_transfer = start;
+    }
+    current_.migrated_bytes += config_.page_bytes;
+    ++arrivals_pending_;
+    events_.scheduleAt(done, [this, vpn] { onPageArrived(vpn); });
+}
+
+void
+UvmRuntime::pumpMigrations()
+{
+    while (mig_idx_ < migration_queue_.size()) {
+        if (manager_.hasFreeFrame()) {
+            scheduleMigration(migration_queue_[mig_idx_++]);
+            continue;
+        }
+        if (config_.ideal_eviction) {
+            if (!launchEviction(events_.now()))
+                break; // nothing evictable yet; arrivals will re-pump
+            continue;
+        }
+        if (config_.unobtrusive_eviction) {
+            // Keep the D2H pipeline just deep enough to hide the
+            // eviction latency: the bottom half pairs each migration
+            // with the *next* eviction (section 4.2), so victims are
+            // selected just in time, one transfer ahead, rather than
+            // being flushed out long before their frame is needed.
+            const std::uint64_t remaining =
+                migration_queue_.size() - mig_idx_;
+            const std::uint64_t depth =
+                remaining < 2 ? remaining : 2;
+            while (evictions_in_flight_ < depth) {
+                if (!launchEviction(events_.now()))
+                    break;
+            }
+            break;
+        }
+        // Baseline (Fig 4): eviction may only start once the previous
+        // inbound migration has fully landed, and the next migration
+        // waits for the eviction — strict serialization.
+        if (evictions_in_flight_ == 0) {
+            const Cycle earliest = std::max(
+                events_.now(), pcie_.channelFree(PcieDir::HostToDevice));
+            if (!launchEviction(earliest) && arrivals_pending_ == 0) {
+                panic("UvmRuntime: migration stalled with nothing "
+                      "evictable (capacity too small?)");
+            }
+        }
+        break;
+    }
+
+    if (mig_idx_ == migration_queue_.size() && arrivals_pending_ == 0 &&
+        state_ == State::BatchActive) {
+        batchEnd();
+    }
+}
+
+void
+UvmRuntime::onEvictionComplete(PageNum vpn)
+{
+    manager_.completeEviction(vpn);
+    --evictions_in_flight_;
+    if (state_ == State::BatchActive)
+        pumpMigrations();
+    else
+        maybeProactiveEvict();
+}
+
+void
+UvmRuntime::onPageArrived(PageNum vpn)
+{
+    const Cycle now = events_.now();
+    manager_.commitPage(vpn, now);
+    in_flight_.erase(vpn);
+    --arrivals_pending_;
+
+    auto w = waiters_.find(vpn);
+    if (w != waiters_.end()) {
+        auto wakes = std::move(w->second);
+        waiters_.erase(w);
+        for (auto &wake : wakes)
+            wake(now);
+    }
+    pumpMigrations();
+}
+
+void
+UvmRuntime::batchEnd()
+{
+    current_.end = events_.now();
+    if (!first_transfer_seen_) {
+        // Batch with no migrations (all faults raced with prefetches):
+        // handling still consumed runtime time.
+        current_.first_transfer = current_.end;
+    }
+    records_.push_back(current_);
+
+    const OversubAdvice advice =
+        manager_.lifetimeTracker().update(events_.now());
+    if (advice_cb_)
+        advice_cb_(advice);
+    if (batch_end_cb_)
+        batch_end_cb_(records_.back());
+
+    if (!fault_buffer_.empty()) {
+        // Waiting faults are handled immediately, skipping the
+        // interrupt round trip (the driver's optimization).
+        batchBegin();
+        return;
+    }
+    state_ = State::Idle;
+    maybeProactiveEvict();
+}
+
+void
+UvmRuntime::enableProactiveEviction(double target)
+{
+    proactive_eviction_ = true;
+    proactive_target_ = target;
+}
+
+void
+UvmRuntime::maybeProactiveEvict()
+{
+    if (!proactive_eviction_ || manager_.unlimited() ||
+        state_ != State::Idle) {
+        return;
+    }
+    const auto capacity = manager_.capacityPages();
+    const auto threshold =
+        static_cast<std::uint64_t>(proactive_target_ *
+                                   static_cast<double>(capacity));
+    if (manager_.committedFrames() > threshold &&
+        evictions_in_flight_ == 0) {
+        launchEviction(events_.now());
+    }
+}
+
+double
+UvmRuntime::averageBatchPages() const
+{
+    if (records_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &r : records_)
+        sum += r.fault_pages;
+    return sum / static_cast<double>(records_.size());
+}
+
+double
+UvmRuntime::averageProcessingTime() const
+{
+    if (records_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &r : records_)
+        sum += static_cast<double>(r.processingTime());
+    return sum / static_cast<double>(records_.size());
+}
+
+double
+UvmRuntime::averageHandlingTime() const
+{
+    if (records_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &r : records_)
+        sum += static_cast<double>(r.handlingTime());
+    return sum / static_cast<double>(records_.size());
+}
+
+} // namespace bauvm

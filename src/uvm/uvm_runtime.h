@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The GPU runtime's page-fault batch-processing machinery — the system
+ * the paper analyzes (section 2.2, Fig 2) and improves.
+ *
+ * Lifecycle of a batch:
+ *   1. A fault raises an interrupt; after the top-half dispatch latency
+ *      the batch begins by draining the whole fault buffer. Faults
+ *      arriving afterwards wait for the *next* batch.
+ *   2. (Unobtrusive Eviction) the top-half ISR consults the GPU memory
+ *      status tracker; at capacity it launches one preemptive eviction
+ *      immediately.
+ *   3. The runtime preprocesses the batch for the configured fault
+ *      handling time (sorting faults, inserting tree-prefetch requests,
+ *      CPU-side page-table walks): Table 1 default 20 us.
+ *   4. Migrations are scheduled in ascending page order. Baseline: when
+ *      allocation fails, eviction and the subsequent migration are
+ *      strictly serialized (Fig 4). UE: evictions stream on the
+ *      device-to-host channel overlapping inbound migrations (Fig 10).
+ *   5. Each arrival maps the page and wakes the waiting warps. After the
+ *      last arrival the batch ends; if more faults are pending the next
+ *      batch starts immediately (no interrupt round trip).
+ */
+
+#ifndef BAUVM_UVM_UVM_RUNTIME_H_
+#define BAUVM_UVM_UVM_RUNTIME_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/mem/memory_hierarchy.h"
+#include "src/sim/config.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/types.h"
+#include "src/uvm/compression.h"
+#include "src/uvm/fault_buffer.h"
+#include "src/uvm/gpu_memory_manager.h"
+#include "src/uvm/pcie_link.h"
+#include "src/uvm/prefetcher.h"
+
+namespace bauvm
+{
+
+/** Timing/size record of one processed batch (drives Figs 3, 12-16). */
+struct BatchRecord {
+    Cycle begin = 0;          //!< batch processing started
+    Cycle first_transfer = 0; //!< first H2D transfer began
+    Cycle end = 0;            //!< last page of the batch arrived
+    std::uint32_t fault_pages = 0;    //!< distinct demand-faulted pages
+    std::uint32_t prefetch_pages = 0; //!< prefetches riding along
+    std::uint32_t duplicate_faults = 0; //!< coalesced duplicate faults
+    std::uint64_t migrated_bytes = 0; //!< uncompressed bytes moved in
+
+    /** GPU runtime fault handling time (begin -> first transfer). */
+    Cycle handlingTime() const { return first_transfer - begin; }
+    /** Batch processing time (begin -> last migration). */
+    Cycle processingTime() const { return end - begin; }
+    std::uint32_t totalPages() const
+    {
+        return fault_pages + prefetch_pages;
+    }
+};
+
+/** The UVM runtime: fault intake, batching, migration, eviction. */
+class UvmRuntime
+{
+  public:
+    /** Callback waking a faulted warp once its page is resident. */
+    using WakeFn = std::function<void(Cycle)>;
+    /** Callback receiving oversubscription advice after each batch. */
+    using AdviceFn = std::function<void(OversubAdvice)>;
+
+    UvmRuntime(const UvmConfig &config, EventQueue &events,
+               GpuMemoryManager &manager, MemoryHierarchy &hierarchy);
+
+    /**
+     * Registers @p bytes at @p base as a valid UVM allocation
+     * (prefetches never stray outside valid pages).
+     */
+    void registerAllocation(VAddr base, std::uint64_t bytes);
+
+    /**
+     * Reports a page fault on @p vpn detected at the current cycle;
+     * @p waiter is invoked when the page becomes resident.
+     *
+     * Safe to call for a page that is already in flight (the waiter
+     * simply joins that page's list) or already resident (the waiter is
+     * woken immediately).
+     */
+    void onPageFault(PageNum vpn, WakeFn waiter);
+
+    /** Installs the advice sink for the TO controller. */
+    void setAdviceCallback(AdviceFn cb) { advice_cb_ = std::move(cb); }
+
+    /** Callback fired after every batch completes (ETC epochs hook). */
+    using BatchEndFn = std::function<void(const BatchRecord &)>;
+    void setBatchEndCallback(BatchEndFn cb)
+    {
+        batch_end_cb_ = std::move(cb);
+    }
+
+    /**
+     * Enables ETC-style proactive eviction: after each batch, pages are
+     * evicted in the background until occupancy falls to @p target of
+     * capacity.
+     */
+    void enableProactiveEviction(double target);
+
+    const std::vector<BatchRecord> &batchRecords() const
+    {
+        return records_;
+    }
+
+    const FaultBuffer &faultBuffer() const { return fault_buffer_; }
+    PcieLink &pcie() { return pcie_; }
+    const PcieLink &pcie() const { return pcie_; }
+
+    std::uint64_t batches() const { return records_.size(); }
+    std::uint64_t demandFaultPages() const { return demand_pages_; }
+    std::uint64_t prefetchedPages() const { return prefetched_pages_; }
+
+    /** True when no batch is active and no faults are pending. */
+    bool idle() const { return state_ == State::Idle; }
+
+    /** Average number of demand pages per batch. */
+    double averageBatchPages() const;
+    /** Average batch processing time in cycles. */
+    double averageProcessingTime() const;
+    /** Average GPU-runtime fault handling time in cycles. */
+    double averageHandlingTime() const;
+
+  private:
+    enum class State { Idle, InterruptPending, BatchActive };
+
+    void batchBegin();
+    void pumpMigrations();
+    void scheduleMigration(PageNum vpn);
+    /** Launches one eviction; @p earliest constrains the D2H start. */
+    bool launchEviction(Cycle earliest);
+    void onEvictionComplete(PageNum vpn);
+    void onPageArrived(PageNum vpn);
+    void batchEnd();
+    void maybeProactiveEvict();
+
+    UvmConfig config_;
+    EventQueue &events_;
+    GpuMemoryManager &manager_;
+    MemoryHierarchy &hierarchy_;
+    FaultBuffer fault_buffer_;
+    PcieLink pcie_;
+    CompressionModel pcie_compression_;
+    TreePrefetcher prefetcher_;
+
+    State state_ = State::Idle;
+    Cycle handling_cycles_;
+    Cycle interrupt_cycles_;
+
+    std::unordered_set<PageNum> valid_pages_;
+    std::unordered_map<PageNum, std::vector<WakeFn>> waiters_;
+    std::unordered_set<PageNum> in_flight_; //!< queued or transferring in
+
+    // Current batch.
+    std::vector<PageNum> migration_queue_;
+    std::size_t mig_idx_ = 0;
+    std::uint32_t arrivals_pending_ = 0;
+    std::uint32_t evictions_in_flight_ = 0;
+    bool first_transfer_seen_ = false;
+    BatchRecord current_;
+
+    std::vector<BatchRecord> records_;
+    std::uint64_t demand_pages_ = 0;
+    std::uint64_t prefetched_pages_ = 0;
+
+    AdviceFn advice_cb_;
+    BatchEndFn batch_end_cb_;
+    bool proactive_eviction_ = false;
+    double proactive_target_ = 0.95;
+};
+
+} // namespace bauvm
+
+#endif // BAUVM_UVM_UVM_RUNTIME_H_

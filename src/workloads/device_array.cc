@@ -1,0 +1,2 @@
+// DeviceArray/DeviceAllocator are header-only; build-system anchor.
+#include "src/workloads/device_array.h"

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unified-memory device arrays.
+ *
+ * DeviceArray<T> pairs a host-backed functional store with a virtual
+ * address range in the simulated unified address space. Kernels read
+ * and write elements directly (the functional side) and yield the
+ * element addresses to the timing model (the performance side); the UVM
+ * runtime migrates the pages those addresses live on.
+ */
+
+#ifndef BAUVM_WORKLOADS_DEVICE_ARRAY_H_
+#define BAUVM_WORKLOADS_DEVICE_ARRAY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/log.h"
+#include "src/sim/types.h"
+
+namespace bauvm
+{
+
+/** Page-aligned bump allocator for the unified address space. */
+class DeviceAllocator
+{
+  public:
+    /** @param page_bytes UVM page size (allocation alignment). */
+    explicit DeviceAllocator(std::uint64_t page_bytes = 64 * 1024)
+        : page_bytes_(page_bytes), next_(page_bytes)
+    {
+    }
+
+    /** One registered allocation range. */
+    struct Range {
+        VAddr base;
+        std::uint64_t bytes;
+        std::string name;
+    };
+
+    /** Reserves @p bytes, page aligned. */
+    VAddr
+    allocate(std::uint64_t bytes, std::string name)
+    {
+        if (bytes == 0)
+            fatal("DeviceAllocator: zero-byte allocation '%s'",
+                  name.c_str());
+        const VAddr base = next_;
+        const std::uint64_t rounded =
+            (bytes + page_bytes_ - 1) / page_bytes_ * page_bytes_;
+        next_ += rounded;
+        ranges_.push_back(Range{base, bytes, std::move(name)});
+        return base;
+    }
+
+    const std::vector<Range> &ranges() const { return ranges_; }
+    std::uint64_t pageBytes() const { return page_bytes_; }
+
+    /** Total footprint in bytes, rounded up to whole pages. */
+    std::uint64_t
+    footprintBytes() const
+    {
+        std::uint64_t total = 0;
+        for (const auto &r : ranges_) {
+            total += (r.bytes + page_bytes_ - 1) / page_bytes_ *
+                     page_bytes_;
+        }
+        return total;
+    }
+
+    /** Footprint in pages. */
+    std::uint64_t
+    footprintPages() const
+    {
+        return footprintBytes() / page_bytes_;
+    }
+
+  private:
+    std::uint64_t page_bytes_;
+    VAddr next_;
+    std::vector<Range> ranges_;
+};
+
+/** A typed array living in unified memory. */
+template <typename T>
+class DeviceArray
+{
+  public:
+    DeviceArray() = default;
+
+    DeviceArray(DeviceAllocator &alloc, std::size_t n, std::string name)
+        : data_(n), base_(alloc.allocate(n * sizeof(T), std::move(name)))
+    {
+    }
+
+    std::size_t size() const { return data_.size(); }
+
+    T &operator[](std::size_t i) { return data_[i]; }
+    const T &operator[](std::size_t i) const { return data_[i]; }
+
+    /** Virtual address of element @p i. */
+    VAddr addr(std::size_t i) const { return base_ + i * sizeof(T); }
+
+    VAddr base() const { return base_; }
+
+    std::vector<T> &host() { return data_; }
+    const std::vector<T> &host() const { return data_; }
+
+    void fill(const T &v) { std::fill(data_.begin(), data_.end(), v); }
+
+  private:
+    std::vector<T> data_;
+    VAddr base_ = 0;
+};
+
+} // namespace bauvm
+
+#endif // BAUVM_WORKLOADS_DEVICE_ARRAY_H_

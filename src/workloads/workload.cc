@@ -1,0 +1,187 @@
+#include "src/workloads/workload.h"
+
+#include <algorithm>
+#include <numeric>
+#include <span>
+
+#include "src/graph/generator.h"
+#include "src/sim/log.h"
+#include "src/workloads/graph_workload.h"
+#include "src/workloads/workload_factories.h"
+
+namespace bauvm
+{
+
+GraphScale
+graphScale(WorkloadScale scale)
+{
+    switch (scale) {
+      case WorkloadScale::Tiny:
+        return GraphScale{4096, 32768, 4};
+      case WorkloadScale::Small:
+        return GraphScale{32768, 524288, 3};
+      case WorkloadScale::Medium:
+        return GraphScale{65536, 1 << 20, 2};
+      case WorkloadScale::Large:
+        return GraphScale{262144, 4 << 20, 2};
+    }
+    fatal("graphScale: bad scale");
+}
+
+void
+GraphWorkloadBase::buildGraph(WorkloadScale scale, std::uint64_t seed,
+                              bool weighted, double edge_factor)
+{
+    const GraphScale gs = graphScale(scale);
+    RmatParams params;
+    params.num_vertices = gs.vertices;
+    params.num_edges = static_cast<std::uint64_t>(
+        static_cast<double>(gs.edges) * edge_factor);
+    params.undirected = true;
+    params.weighted = weighted;
+    params.seed = seed;
+    CsrGraph raw = generateRmat(params);
+
+    // Relabel vertices by descending degree. Real GraphBIG inputs
+    // (crawled social/web graphs) have strong id locality — hot hub
+    // data clusters on few pages — whereas raw R-MAT ids scatter
+    // maximally. The relabeling restores that property.
+    const VertexId n = raw.numVertices();
+    std::vector<VertexId> by_degree(n);
+    std::iota(by_degree.begin(), by_degree.end(), 0);
+    std::stable_sort(by_degree.begin(), by_degree.end(),
+                     [&raw](VertexId a, VertexId b) {
+                         return raw.degree(a) > raw.degree(b);
+                     });
+    std::vector<VertexId> new_id(n);
+    for (VertexId i = 0; i < n; ++i)
+        new_id[by_degree[i]] = i;
+    std::vector<std::pair<VertexId, VertexId>> edges;
+    std::vector<std::uint32_t> wts;
+    edges.reserve(raw.numEdges());
+    for (VertexId v = 0; v < n; ++v) {
+        const auto nbrs = raw.neighbors(v);
+        const auto ew = weighted ? raw.edgeWeights(v)
+                                 : std::span<const std::uint32_t>{};
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+            edges.emplace_back(new_id[v], new_id[nbrs[i]]);
+            if (weighted)
+                wts.push_back(ew[i]);
+        }
+    }
+    graph_ = CsrGraph::fromEdges(n, edges, wts);
+    graph_.validate();
+
+    d_row_ = DeviceArray<std::uint64_t>(alloc_, graph_.numVertices() + 1,
+                                        "row_offsets");
+    std::copy(graph_.rowOffsets().begin(), graph_.rowOffsets().end(),
+              d_row_.host().begin());
+    d_col_ = DeviceArray<std::uint64_t>(alloc_, graph_.numEdges(),
+                                        "col_indices");
+    std::copy(graph_.colIndices().begin(), graph_.colIndices().end(),
+              d_col_.host().begin());
+    if (weighted) {
+        d_weight_ = DeviceArray<std::uint64_t>(
+            alloc_, graph_.numEdges(), "edge_weights");
+        std::copy(graph_.weights().begin(), graph_.weights().end(),
+                  d_weight_.host().begin());
+    }
+
+    // Start traversals from the highest-degree vertex so they reach
+    // most of the graph.
+    VertexId best = 0;
+    for (VertexId v = 1; v < graph_.numVertices(); ++v) {
+        if (graph_.degree(v) > graph_.degree(best))
+            best = v;
+    }
+    source_ = best;
+}
+
+const std::vector<std::string> &
+irregularWorkloadNames()
+{
+    static const std::vector<std::string> names = {
+        "BC",     "BFS-DWC", "BFS-TA", "BFS-TF",   "BFS-TTC",
+        "BFS-TWC", "GC-DTC",  "GC-TTC", "KCORE",    "SSSP-TWC",
+        "PR",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+regularWorkloadNames()
+{
+    static const std::vector<std::string> names = {
+        "CFD", "DWT", "GM", "H3D", "HS", "LUD",
+    };
+    return names;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name)
+{
+    if (name == "BC")
+        return makeBcWorkload();
+    if (name.rfind("BFS-", 0) == 0)
+        return makeBfsWorkload(name.substr(4));
+    if (name.rfind("GC-", 0) == 0)
+        return makeGcWorkload(name.substr(3));
+    if (name == "KCORE")
+        return makeKcoreWorkload();
+    if (name == "SSSP-TWC")
+        return makeSsspWorkload();
+    if (name == "PR")
+        return makePageRankWorkload();
+    for (const auto &r : regularWorkloadNames()) {
+        if (name == r)
+            return makeRegularWorkload(name);
+    }
+    fatal("makeWorkload: unknown workload '%s'", name.c_str());
+}
+
+void
+runFunctional(
+    Workload &workload, std::uint64_t page_bytes,
+    const std::function<void(std::uint32_t, PageNum)> &page_trace)
+{
+    KernelInfo kernel;
+    while (workload.nextKernel(&kernel)) {
+        const std::uint32_t warps_per_block = kernel.warpsPerBlock(32);
+        for (std::uint32_t b = 0; b < kernel.num_blocks; ++b) {
+            // Round-robin the block's warps at op granularity so
+            // barriers and intra-block interleaving behave like SIMT.
+            std::vector<WarpProgram> warps;
+            std::vector<bool> alive(warps_per_block, true);
+            warps.reserve(warps_per_block);
+            for (std::uint32_t w = 0; w < warps_per_block; ++w) {
+                WarpCtx ctx;
+                ctx.block_id = b;
+                ctx.warp_in_block = w;
+                ctx.warp_size = 32;
+                ctx.threads_per_block = kernel.threads_per_block;
+                ctx.num_blocks = kernel.num_blocks;
+                warps.push_back(kernel.make_program(ctx));
+            }
+            bool progress = true;
+            while (progress) {
+                progress = false;
+                for (std::uint32_t w = 0; w < warps_per_block; ++w) {
+                    if (!alive[w])
+                        continue;
+                    if (!warps[w].advance()) {
+                        alive[w] = false;
+                        continue;
+                    }
+                    progress = true;
+                    if (page_trace) {
+                        const WarpOp &op = warps[w].current();
+                        for (VAddr a : op.addrs)
+                            page_trace(b, a / page_bytes);
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace bauvm

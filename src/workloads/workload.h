@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Workload abstraction: a sequence of kernel launches over unified-
+ * memory arrays, with functional validation.
+ *
+ * The 11 irregular workloads mirror the paper's GraphBIG selection
+ * (BC, five BFS variants, two GC variants, KCORE, SSSP-TWC, PR); six
+ * regular workloads provide the Fig 1 contrast.
+ */
+
+#ifndef BAUVM_WORKLOADS_WORKLOAD_H_
+#define BAUVM_WORKLOADS_WORKLOAD_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/gpu/warp_program.h"
+#include "src/workloads/device_array.h"
+
+namespace bauvm
+{
+
+/** Problem-size presets for workload construction. */
+enum class WorkloadScale { Tiny, Small, Medium, Large };
+
+/** A runnable workload: build -> (nextKernel, run)* -> validate. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Workload name as reported in figures (e.g. "BFS-TWC"). */
+    virtual std::string name() const = 0;
+
+    /** Generates inputs and device arrays. Called exactly once. */
+    virtual void build(WorkloadScale scale, std::uint64_t seed) = 0;
+
+    /**
+     * Produces the next kernel launch, or false when the workload's
+     * host-side loop has converged. Host logic between launches (e.g.
+     * frontier checks) lives here.
+     */
+    virtual bool nextKernel(KernelInfo *out) = 0;
+
+    /**
+     * Checks the functional result against the reference CPU
+     * implementation; calls panic() on mismatch.
+     */
+    virtual void validate() const = 0;
+
+    DeviceAllocator &allocator() { return alloc_; }
+    const DeviceAllocator &allocator() const { return alloc_; }
+    std::uint64_t footprintBytes() const
+    {
+        return alloc_.footprintBytes();
+    }
+
+  protected:
+    DeviceAllocator alloc_;
+};
+
+/** Lists the 11 irregular workload names in the paper's Fig 11 order. */
+const std::vector<std::string> &irregularWorkloadNames();
+
+/** Lists the six regular workload names used by Fig 1. */
+const std::vector<std::string> &regularWorkloadNames();
+
+/** Instantiates a workload by name; fatal() on unknown names. */
+std::unique_ptr<Workload> makeWorkload(const std::string &name);
+
+/**
+ * Runs a workload functionally (no timing): every kernel's warps are
+ * executed round-robin at op granularity, which respects barriers and
+ * approximates SIMT interleaving. Useful for validation without the
+ * simulator and for page-trace experiments.
+ *
+ * @param page_trace  optional; receives (block_id, page) for every
+ *                    memory operand.
+ */
+void runFunctional(
+    Workload &workload, std::uint64_t page_bytes = 64 * 1024,
+    const std::function<void(std::uint32_t, PageNum)> &page_trace = {});
+
+} // namespace bauvm
+
+#endif // BAUVM_WORKLOADS_WORKLOAD_H_

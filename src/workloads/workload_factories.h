@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Internal factory declarations wiring the registry in workload.cc to
+ * the per-algorithm translation units.
+ */
+
+#ifndef BAUVM_WORKLOADS_WORKLOAD_FACTORIES_H_
+#define BAUVM_WORKLOADS_WORKLOAD_FACTORIES_H_
+
+#include <memory>
+#include <string>
+
+#include "src/workloads/workload.h"
+
+namespace bauvm
+{
+
+/** @param variant one of DWC, TA, TF, TTC, TWC. */
+std::unique_ptr<Workload> makeBfsWorkload(const std::string &variant);
+std::unique_ptr<Workload> makeBcWorkload();
+/** @param variant one of DTC, TTC. */
+std::unique_ptr<Workload> makeGcWorkload(const std::string &variant);
+std::unique_ptr<Workload> makeKcoreWorkload();
+std::unique_ptr<Workload> makeSsspWorkload();
+std::unique_ptr<Workload> makePageRankWorkload();
+/** @param name one of CFD, DWT, GM, H3D, HS, LUD. */
+std::unique_ptr<Workload> makeRegularWorkload(const std::string &name);
+
+} // namespace bauvm
+
+#endif // BAUVM_WORKLOADS_WORKLOAD_FACTORIES_H_

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the set-associative array underlying caches and TLBs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/mem/assoc_array.h"
+
+namespace bauvm
+{
+namespace
+{
+
+TEST(AssocArray, MissOnEmpty)
+{
+    AssocArray a(8, 2);
+    EXPECT_FALSE(a.lookup(5));
+    EXPECT_FALSE(a.probe(5));
+}
+
+TEST(AssocArray, HitAfterInsert)
+{
+    AssocArray a(8, 2);
+    a.insert(5);
+    EXPECT_TRUE(a.lookup(5));
+    EXPECT_TRUE(a.probe(5));
+    EXPECT_EQ(a.validCount(), 1u);
+}
+
+TEST(AssocArray, LruEvictsOldestInSet)
+{
+    AssocArray a(4, 2); // 2 sets x 2 ways; keys 0,2,4 share set 0
+    a.insert(0);
+    a.insert(2);
+    a.lookup(0); // refresh 0; 2 becomes LRU
+    std::uint64_t evicted = 0;
+    EXPECT_TRUE(a.insert(4, &evicted));
+    EXPECT_EQ(evicted, 2u);
+    EXPECT_TRUE(a.probe(0));
+    EXPECT_FALSE(a.probe(2));
+    EXPECT_TRUE(a.probe(4));
+}
+
+TEST(AssocArray, InsertExistingRefreshesWithoutEviction)
+{
+    AssocArray a(4, 2);
+    a.insert(0);
+    a.insert(2);
+    EXPECT_FALSE(a.insert(0)); // no displacement
+    std::uint64_t evicted = 0;
+    a.insert(4, &evicted);
+    EXPECT_EQ(evicted, 2u); // 0 was refreshed by the re-insert
+}
+
+TEST(AssocArray, SetsIsolateKeys)
+{
+    AssocArray a(4, 2); // keys 1,3 go to set 1
+    a.insert(0);
+    a.insert(2);
+    a.insert(1); // different set: no eviction in set 0
+    EXPECT_TRUE(a.probe(0));
+    EXPECT_TRUE(a.probe(2));
+}
+
+TEST(AssocArray, FullyAssociativeUsesAllEntries)
+{
+    AssocArray a(4, 0);
+    for (std::uint64_t k = 0; k < 4; ++k)
+        a.insert(k * 17);
+    EXPECT_EQ(a.validCount(), 4u);
+    for (std::uint64_t k = 0; k < 4; ++k)
+        EXPECT_TRUE(a.probe(k * 17));
+    a.insert(999);
+    EXPECT_EQ(a.validCount(), 4u); // one got displaced
+}
+
+TEST(AssocArray, InvalidateRemovesKey)
+{
+    AssocArray a(8, 2);
+    a.insert(7);
+    EXPECT_TRUE(a.invalidate(7));
+    EXPECT_FALSE(a.invalidate(7));
+    EXPECT_FALSE(a.probe(7));
+}
+
+TEST(AssocArray, FlushClearsEverything)
+{
+    AssocArray a(8, 0);
+    for (std::uint64_t k = 0; k < 8; ++k)
+        a.insert(k);
+    a.flush();
+    EXPECT_EQ(a.validCount(), 0u);
+}
+
+TEST(AssocArray, InvalidateIfPredicate)
+{
+    AssocArray a(8, 0);
+    for (std::uint64_t k = 0; k < 8; ++k)
+        a.insert(k);
+    const std::size_t n =
+        a.invalidateIf([](std::uint64_t k) { return k % 2 == 0; });
+    EXPECT_EQ(n, 4u);
+    EXPECT_EQ(a.validCount(), 4u);
+    EXPECT_FALSE(a.probe(0));
+    EXPECT_TRUE(a.probe(1));
+}
+
+TEST(AssocArray, ProbeDoesNotDisturbLru)
+{
+    AssocArray a(4, 2);
+    a.insert(0);
+    a.insert(2);
+    a.probe(0); // must NOT refresh
+    std::uint64_t evicted = 0;
+    a.insert(4, &evicted);
+    EXPECT_EQ(evicted, 0u); // 0 still LRU
+}
+
+} // namespace
+} // namespace bauvm

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the core layer: presets, experiment helpers, report tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.h"
+#include "src/core/presets.h"
+#include "src/core/report.h"
+
+namespace bauvm
+{
+namespace
+{
+
+TEST(Presets, PaperConfigMatchesTable1)
+{
+    const SimConfig c = paperConfig();
+    EXPECT_EQ(c.gpu.num_sms, 16u);
+    EXPECT_EQ(c.gpu.max_threads_per_sm, 1024u);
+    EXPECT_EQ(c.gpu.regfile_bytes_per_sm, 256u * 1024);
+    EXPECT_EQ(c.mem.l1.size_bytes, 16u * 1024);
+    EXPECT_EQ(c.mem.l2.size_bytes, 2u * 1024 * 1024);
+    EXPECT_EQ(c.mem.l1_tlb.entries, 64u);
+    EXPECT_EQ(c.mem.l2_tlb.entries, 1024u);
+    EXPECT_EQ(c.mem.l2_tlb.associativity, 32u);
+    EXPECT_EQ(c.mem.dram_latency, 200u);
+    EXPECT_EQ(c.mem.walker_threads, 64u);
+    EXPECT_EQ(c.uvm.page_bytes, 64u * 1024);
+    EXPECT_EQ(c.uvm.fault_buffer_entries, 1024u);
+    EXPECT_DOUBLE_EQ(c.uvm.fault_handling_us, 20.0);
+    EXPECT_DOUBLE_EQ(c.uvm.pcie_gbps, 15.75);
+    EXPECT_DOUBLE_EQ(c.memory_ratio, 0.5);
+}
+
+TEST(Presets, PoliciesToggleTheRightKnobs)
+{
+    const SimConfig base = paperConfig();
+    EXPECT_FALSE(base.to.enabled);
+    EXPECT_FALSE(base.uvm.unobtrusive_eviction);
+
+    const SimConfig to = applyPolicy(base, Policy::To);
+    EXPECT_TRUE(to.to.enabled);
+    EXPECT_FALSE(to.uvm.unobtrusive_eviction);
+
+    const SimConfig ue = applyPolicy(base, Policy::Ue);
+    EXPECT_TRUE(ue.uvm.unobtrusive_eviction);
+    EXPECT_FALSE(ue.to.enabled);
+
+    const SimConfig toue = applyPolicy(base, Policy::ToUe);
+    EXPECT_TRUE(toue.to.enabled);
+    EXPECT_TRUE(toue.uvm.unobtrusive_eviction);
+
+    const SimConfig etc = applyPolicy(base, Policy::Etc);
+    EXPECT_TRUE(etc.etc.enabled);
+
+    const SimConfig ideal = applyPolicy(base, Policy::IdealEviction);
+    EXPECT_TRUE(ideal.uvm.ideal_eviction);
+
+    const SimConfig unlimited = applyPolicy(base, Policy::Unlimited);
+    EXPECT_LE(unlimited.memory_ratio, 0.0);
+
+    const SimConfig pciec =
+        applyPolicy(base, Policy::BaselinePcieComp);
+    EXPECT_GT(pciec.uvm.pcie_compression_ratio, 1.0);
+}
+
+TEST(Presets, PolicyNamesRoundTrip)
+{
+    for (Policy p : allPolicies())
+        EXPECT_EQ(policyFromName(policyName(p)), p);
+    EXPECT_EQ(policyFromName("UNLIMITED"), Policy::Unlimited);
+}
+
+TEST(Experiment, GeomeanOfOnesIsOne)
+{
+    EXPECT_DOUBLE_EQ(geomean({1.0, 1.0, 1.0}), 1.0);
+}
+
+TEST(Experiment, GeomeanOfTwoAndHalfIsOne)
+{
+    EXPECT_NEAR(geomean({2.0, 0.5}), 1.0, 1e-12);
+}
+
+TEST(Experiment, ParseBenchArgs)
+{
+    const char *argv[] = {"prog", "--scale", "large", "--csv",
+                          "--ratio", "0.25", "--seed", "9"};
+    const BenchOptions opt =
+        parseBenchArgs(8, const_cast<char **>(argv));
+    EXPECT_EQ(opt.scale, WorkloadScale::Large);
+    EXPECT_TRUE(opt.csv);
+    EXPECT_DOUBLE_EQ(opt.ratio, 0.25);
+    EXPECT_EQ(opt.seed, 9u);
+}
+
+TEST(Experiment, DefaultBenchArgs)
+{
+    const char *argv[] = {"prog"};
+    const BenchOptions opt =
+        parseBenchArgs(1, const_cast<char **>(argv));
+    EXPECT_EQ(opt.scale, WorkloadScale::Small);
+    EXPECT_FALSE(opt.csv);
+    EXPECT_DOUBLE_EQ(opt.ratio, 0.5);
+}
+
+TEST(Report, NumFormatsPrecision)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Report, TableAcceptsMatchingRows)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    t.addRow({"3", "4"});
+    SUCCEED();
+}
+
+} // namespace
+} // namespace bauvm

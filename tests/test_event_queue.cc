@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulation kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.h"
+
+namespace bauvm
+{
+namespace
+{
+
+TEST(EventQueue, StartsAtCycleZero)
+{
+    EventQueue q;
+    EXPECT_EQ(q.now(), 0u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.scheduleAt(30, [&] { order.push_back(3); });
+    q.scheduleAt(10, [&] { order.push_back(1); });
+    q.scheduleAt(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameCycleEventsRunInInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.scheduleAt(42, [&order, i] { order.push_back(i); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime)
+{
+    EventQueue q;
+    Cycle seen = 0;
+    q.scheduleAt(100, [&] {
+        q.scheduleAfter(50, [&] { seen = q.now(); });
+    });
+    q.run();
+    EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue q;
+    bool ran = false;
+    const EventId id = q.scheduleAt(10, [&] { ran = true; });
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id)); // double cancel reports failure
+    q.run();
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(q.executedEvents(), 0u);
+}
+
+TEST(EventQueue, RunUntilLeavesFutureEventsPending)
+{
+    EventQueue q;
+    int count = 0;
+    q.scheduleAt(10, [&] { ++count; });
+    q.scheduleAt(20, [&] { ++count; });
+    q.scheduleAt(30, [&] { ++count; });
+    q.run(20);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(q.pendingEvents(), 1u);
+    q.run();
+    EXPECT_EQ(count, 3);
+}
+
+TEST(EventQueue, StepExecutesExactlyOne)
+{
+    EventQueue q;
+    int count = 0;
+    q.scheduleAt(5, [&] { ++count; });
+    q.scheduleAt(6, [&] { ++count; });
+    EXPECT_TRUE(q.step());
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(q.now(), 5u);
+    EXPECT_TRUE(q.step());
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue q;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 10)
+            q.scheduleAfter(1, chain);
+    };
+    q.scheduleAt(0, chain);
+    q.run();
+    EXPECT_EQ(depth, 10);
+    EXPECT_EQ(q.now(), 9u);
+}
+
+TEST(EventQueue, RequestStopHaltsRun)
+{
+    EventQueue q;
+    int count = 0;
+    q.scheduleAt(1, [&] {
+        ++count;
+        q.requestStop();
+    });
+    q.scheduleAt(2, [&] { ++count; });
+    q.run();
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(q.pendingEvents(), 1u);
+}
+
+TEST(EventQueue, PendingCountTracksCancellations)
+{
+    EventQueue q;
+    const EventId a = q.scheduleAt(1, [] {});
+    q.scheduleAt(2, [] {});
+    EXPECT_EQ(q.pendingEvents(), 2u);
+    q.cancel(a);
+    EXPECT_EQ(q.pendingEvents(), 1u);
+    q.run();
+    EXPECT_EQ(q.pendingEvents(), 0u);
+}
+
+} // namespace
+} // namespace bauvm

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/sim/rng.h"
+
+namespace bauvm
+{
+namespace
+{
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, NextBelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextRangeInclusiveBounds)
+{
+    Rng r(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = r.nextRange(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u); // all four values hit
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng r(7);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double d = r.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02); // roughly uniform
+}
+
+TEST(Rng, NextBoolMatchesProbability)
+{
+    Rng r(7);
+    int heads = 0;
+    for (int i = 0; i < 10000; ++i)
+        heads += r.nextBool(0.3) ? 1 : 0;
+    EXPECT_NEAR(heads / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ValuesSpreadAcrossRange)
+{
+    Rng r(7);
+    std::set<std::uint64_t> buckets;
+    for (int i = 0; i < 1000; ++i)
+        buckets.insert(r.next() >> 60); // top 4 bits
+    EXPECT_EQ(buckets.size(), 16u);
+}
+
+} // namespace
+} // namespace bauvm

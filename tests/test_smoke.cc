@@ -1,0 +1,53 @@
+/**
+ * @file
+ * End-to-end smoke tests: tiny workloads through the full simulator,
+ * with functional validation against the CPU references.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/presets.h"
+#include "src/core/system.h"
+
+namespace bauvm
+{
+namespace
+{
+
+TEST(Smoke, BfsTtcBaselineRunsAndValidates)
+{
+    SimConfig config = paperConfig(/*memory_ratio=*/0.5);
+    auto workload = makeWorkload("BFS-TTC");
+    GpuUvmSystem system(config);
+    const RunResult r = system.run(*workload, WorkloadScale::Tiny);
+    workload->validate();
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.batches, 0u);
+    EXPECT_GT(r.migrations, 0u);
+}
+
+TEST(Smoke, BfsTtcUnlimitedMemoryNeverEvicts)
+{
+    SimConfig config = paperConfig(0.0); // unlimited
+    auto workload = makeWorkload("BFS-TTC");
+    GpuUvmSystem system(config);
+    const RunResult r = system.run(*workload, WorkloadScale::Tiny);
+    workload->validate();
+    EXPECT_EQ(r.evictions, 0u);
+}
+
+TEST(Smoke, ToUeFasterThanBaselineOnTinyBfs)
+{
+    const RunResult base = runWorkload(
+        applyPolicy(paperConfig(0.5), Policy::Baseline), "BFS-TTC",
+        WorkloadScale::Tiny, /*validate=*/true);
+    const RunResult toue = runWorkload(
+        applyPolicy(paperConfig(0.5), Policy::ToUe), "BFS-TTC",
+        WorkloadScale::Tiny, /*validate=*/true);
+    // On a thrashing tiny configuration the combined techniques should
+    // not be slower than the baseline.
+    EXPECT_LE(toue.cycles, base.cycles * 11 / 10);
+}
+
+} // namespace
+} // namespace bauvm

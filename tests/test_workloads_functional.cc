@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Functional validation of every workload through the round-robin
+ * executor (no timing model): each kernel sequence must converge and
+ * reproduce the reference CPU algorithm's results. Parameterized over
+ * all 11 irregular + 6 regular workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/workloads/workload.h"
+
+namespace bauvm
+{
+namespace
+{
+
+class WorkloadFunctional
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadFunctional, ConvergesAndValidates)
+{
+    auto workload = makeWorkload(GetParam());
+    workload->build(WorkloadScale::Tiny, /*seed=*/1);
+    runFunctional(*workload);
+    workload->validate();
+}
+
+TEST_P(WorkloadFunctional, DeterministicAcrossRebuilds)
+{
+    auto a = makeWorkload(GetParam());
+    a->build(WorkloadScale::Tiny, 7);
+    runFunctional(*a);
+    auto b = makeWorkload(GetParam());
+    b->build(WorkloadScale::Tiny, 7);
+    runFunctional(*b);
+    EXPECT_EQ(a->footprintBytes(), b->footprintBytes());
+}
+
+TEST_P(WorkloadFunctional, FootprintMatchesAllocations)
+{
+    auto workload = makeWorkload(GetParam());
+    workload->build(WorkloadScale::Tiny, 1);
+    std::uint64_t sum = 0;
+    for (const auto &r : workload->allocator().ranges()) {
+        EXPECT_EQ(r.base % workload->allocator().pageBytes(), 0u)
+            << "allocation must be page aligned";
+        sum += (r.bytes + 65535) / 65536 * 65536;
+    }
+    EXPECT_EQ(sum, workload->footprintBytes());
+    EXPECT_GT(sum, 0u);
+}
+
+TEST_P(WorkloadFunctional, PagesTouchedStayInsideAllocations)
+{
+    auto workload = makeWorkload(GetParam());
+    workload->build(WorkloadScale::Tiny, 1);
+    std::set<PageNum> valid;
+    for (const auto &r : workload->allocator().ranges()) {
+        for (PageNum p = r.base / 65536;
+             p <= (r.base + r.bytes - 1) / 65536; ++p) {
+            valid.insert(p);
+        }
+    }
+    bool violation = false;
+    runFunctional(*workload, 65536,
+                  [&](std::uint32_t, PageNum page) {
+                      if (!valid.count(page))
+                          violation = true;
+                  });
+    EXPECT_FALSE(violation) << "kernel touched unallocated memory";
+}
+
+std::vector<std::string>
+allWorkloadNames()
+{
+    std::vector<std::string> names = irregularWorkloadNames();
+    for (const auto &r : regularWorkloadNames())
+        names.push_back(r);
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadFunctional,
+    ::testing::ValuesIn(allWorkloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+} // namespace
+} // namespace bauvm
