@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_uvm_knobs.dir/ablation_uvm_knobs.cc.o"
+  "CMakeFiles/ablation_uvm_knobs.dir/ablation_uvm_knobs.cc.o.d"
+  "ablation_uvm_knobs"
+  "ablation_uvm_knobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_uvm_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

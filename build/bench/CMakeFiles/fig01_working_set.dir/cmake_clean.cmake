@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_working_set.dir/fig01_working_set.cc.o"
+  "CMakeFiles/fig01_working_set.dir/fig01_working_set.cc.o.d"
+  "fig01_working_set"
+  "fig01_working_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_working_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

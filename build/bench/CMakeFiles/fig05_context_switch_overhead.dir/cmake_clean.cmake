@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_context_switch_overhead.dir/fig05_context_switch_overhead.cc.o"
+  "CMakeFiles/fig05_context_switch_overhead.dir/fig05_context_switch_overhead.cc.o.d"
+  "fig05_context_switch_overhead"
+  "fig05_context_switch_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_context_switch_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_ideal_eviction.dir/fig08_ideal_eviction.cc.o"
+  "CMakeFiles/fig08_ideal_eviction.dir/fig08_ideal_eviction.cc.o.d"
+  "fig08_ideal_eviction"
+  "fig08_ideal_eviction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_ideal_eviction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_premature_eviction.dir/fig15_premature_eviction.cc.o"
+  "CMakeFiles/fig15_premature_eviction.dir/fig15_premature_eviction.cc.o.d"
+  "fig15_premature_eviction"
+  "fig15_premature_eviction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_premature_eviction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

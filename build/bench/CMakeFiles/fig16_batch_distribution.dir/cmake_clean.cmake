@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_batch_distribution.dir/fig16_batch_distribution.cc.o"
+  "CMakeFiles/fig16_batch_distribution.dir/fig16_batch_distribution.cc.o.d"
+  "fig16_batch_distribution"
+  "fig16_batch_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_batch_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_fault_time_sensitivity.dir/fig18_fault_time_sensitivity.cc.o"
+  "CMakeFiles/fig18_fault_time_sensitivity.dir/fig18_fault_time_sensitivity.cc.o.d"
+  "fig18_fault_time_sensitivity"
+  "fig18_fault_time_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_fault_time_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

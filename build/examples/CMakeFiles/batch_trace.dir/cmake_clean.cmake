@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_trace.dir/batch_trace.cpp.o"
+  "CMakeFiles/batch_trace.dir/batch_trace.cpp.o.d"
+  "batch_trace"
+  "batch_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_policy_tour.dir/graph_policy_tour.cpp.o"
+  "CMakeFiles/graph_policy_tour.dir/graph_policy_tour.cpp.o.d"
+  "graph_policy_tour"
+  "graph_policy_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_policy_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

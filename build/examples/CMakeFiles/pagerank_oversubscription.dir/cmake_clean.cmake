@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagerank_oversubscription.dir/pagerank_oversubscription.cpp.o"
+  "CMakeFiles/pagerank_oversubscription.dir/pagerank_oversubscription.cpp.o.d"
+  "pagerank_oversubscription"
+  "pagerank_oversubscription.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagerank_oversubscription.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/bauvm.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/presets.cc" "src/CMakeFiles/bauvm.dir/core/presets.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/core/presets.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/bauvm.dir/core/report.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/core/report.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/CMakeFiles/bauvm.dir/core/system.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/core/system.cc.o.d"
+  "/root/repo/src/etc/etc_framework.cc" "src/CMakeFiles/bauvm.dir/etc/etc_framework.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/etc/etc_framework.cc.o.d"
+  "/root/repo/src/gpu/block_dispatcher.cc" "src/CMakeFiles/bauvm.dir/gpu/block_dispatcher.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/gpu/block_dispatcher.cc.o.d"
+  "/root/repo/src/gpu/coalescer.cc" "src/CMakeFiles/bauvm.dir/gpu/coalescer.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/gpu/coalescer.cc.o.d"
+  "/root/repo/src/gpu/gpu.cc" "src/CMakeFiles/bauvm.dir/gpu/gpu.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/gpu/gpu.cc.o.d"
+  "/root/repo/src/gpu/occupancy.cc" "src/CMakeFiles/bauvm.dir/gpu/occupancy.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/gpu/occupancy.cc.o.d"
+  "/root/repo/src/gpu/sm.cc" "src/CMakeFiles/bauvm.dir/gpu/sm.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/gpu/sm.cc.o.d"
+  "/root/repo/src/gpu/virtual_thread.cc" "src/CMakeFiles/bauvm.dir/gpu/virtual_thread.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/gpu/virtual_thread.cc.o.d"
+  "/root/repo/src/gpu/warp_program.cc" "src/CMakeFiles/bauvm.dir/gpu/warp_program.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/gpu/warp_program.cc.o.d"
+  "/root/repo/src/graph/csr_graph.cc" "src/CMakeFiles/bauvm.dir/graph/csr_graph.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/graph/csr_graph.cc.o.d"
+  "/root/repo/src/graph/generator.cc" "src/CMakeFiles/bauvm.dir/graph/generator.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/graph/generator.cc.o.d"
+  "/root/repo/src/graph/reference_algorithms.cc" "src/CMakeFiles/bauvm.dir/graph/reference_algorithms.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/graph/reference_algorithms.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/bauvm.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/CMakeFiles/bauvm.dir/mem/dram.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/mem/dram.cc.o.d"
+  "/root/repo/src/mem/memory_hierarchy.cc" "src/CMakeFiles/bauvm.dir/mem/memory_hierarchy.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/mem/memory_hierarchy.cc.o.d"
+  "/root/repo/src/mem/page_table.cc" "src/CMakeFiles/bauvm.dir/mem/page_table.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/mem/page_table.cc.o.d"
+  "/root/repo/src/mem/page_table_walker.cc" "src/CMakeFiles/bauvm.dir/mem/page_table_walker.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/mem/page_table_walker.cc.o.d"
+  "/root/repo/src/mem/page_walk_cache.cc" "src/CMakeFiles/bauvm.dir/mem/page_walk_cache.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/mem/page_walk_cache.cc.o.d"
+  "/root/repo/src/mem/tlb.cc" "src/CMakeFiles/bauvm.dir/mem/tlb.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/mem/tlb.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/bauvm.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/log.cc" "src/CMakeFiles/bauvm.dir/sim/log.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/sim/log.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/CMakeFiles/bauvm.dir/sim/rng.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/sim/rng.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/bauvm.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/sim/stats.cc.o.d"
+  "/root/repo/src/uvm/compression.cc" "src/CMakeFiles/bauvm.dir/uvm/compression.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/uvm/compression.cc.o.d"
+  "/root/repo/src/uvm/fault_buffer.cc" "src/CMakeFiles/bauvm.dir/uvm/fault_buffer.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/uvm/fault_buffer.cc.o.d"
+  "/root/repo/src/uvm/gpu_memory_manager.cc" "src/CMakeFiles/bauvm.dir/uvm/gpu_memory_manager.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/uvm/gpu_memory_manager.cc.o.d"
+  "/root/repo/src/uvm/lifetime_tracker.cc" "src/CMakeFiles/bauvm.dir/uvm/lifetime_tracker.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/uvm/lifetime_tracker.cc.o.d"
+  "/root/repo/src/uvm/pcie_link.cc" "src/CMakeFiles/bauvm.dir/uvm/pcie_link.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/uvm/pcie_link.cc.o.d"
+  "/root/repo/src/uvm/prefetcher.cc" "src/CMakeFiles/bauvm.dir/uvm/prefetcher.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/uvm/prefetcher.cc.o.d"
+  "/root/repo/src/uvm/uvm_runtime.cc" "src/CMakeFiles/bauvm.dir/uvm/uvm_runtime.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/uvm/uvm_runtime.cc.o.d"
+  "/root/repo/src/workloads/bc.cc" "src/CMakeFiles/bauvm.dir/workloads/bc.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/workloads/bc.cc.o.d"
+  "/root/repo/src/workloads/bfs_variants.cc" "src/CMakeFiles/bauvm.dir/workloads/bfs_variants.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/workloads/bfs_variants.cc.o.d"
+  "/root/repo/src/workloads/device_array.cc" "src/CMakeFiles/bauvm.dir/workloads/device_array.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/workloads/device_array.cc.o.d"
+  "/root/repo/src/workloads/gc_variants.cc" "src/CMakeFiles/bauvm.dir/workloads/gc_variants.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/workloads/gc_variants.cc.o.d"
+  "/root/repo/src/workloads/kcore.cc" "src/CMakeFiles/bauvm.dir/workloads/kcore.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/workloads/kcore.cc.o.d"
+  "/root/repo/src/workloads/pagerank.cc" "src/CMakeFiles/bauvm.dir/workloads/pagerank.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/workloads/pagerank.cc.o.d"
+  "/root/repo/src/workloads/regular_suite.cc" "src/CMakeFiles/bauvm.dir/workloads/regular_suite.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/workloads/regular_suite.cc.o.d"
+  "/root/repo/src/workloads/sssp.cc" "src/CMakeFiles/bauvm.dir/workloads/sssp.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/workloads/sssp.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/bauvm.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/bauvm.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_assoc_array.cc" "tests/CMakeFiles/bauvm_tests.dir/test_assoc_array.cc.o" "gcc" "tests/CMakeFiles/bauvm_tests.dir/test_assoc_array.cc.o.d"
+  "/root/repo/tests/test_block_dispatcher.cc" "tests/CMakeFiles/bauvm_tests.dir/test_block_dispatcher.cc.o" "gcc" "tests/CMakeFiles/bauvm_tests.dir/test_block_dispatcher.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/bauvm_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/bauvm_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_etc.cc" "tests/CMakeFiles/bauvm_tests.dir/test_etc.cc.o" "gcc" "tests/CMakeFiles/bauvm_tests.dir/test_etc.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/bauvm_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/bauvm_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_geometry_sweeps.cc" "tests/CMakeFiles/bauvm_tests.dir/test_geometry_sweeps.cc.o" "gcc" "tests/CMakeFiles/bauvm_tests.dir/test_geometry_sweeps.cc.o.d"
+  "/root/repo/tests/test_gpu_units.cc" "tests/CMakeFiles/bauvm_tests.dir/test_gpu_units.cc.o" "gcc" "tests/CMakeFiles/bauvm_tests.dir/test_gpu_units.cc.o.d"
+  "/root/repo/tests/test_graph.cc" "tests/CMakeFiles/bauvm_tests.dir/test_graph.cc.o" "gcc" "tests/CMakeFiles/bauvm_tests.dir/test_graph.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/bauvm_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/bauvm_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_mem_units.cc" "tests/CMakeFiles/bauvm_tests.dir/test_mem_units.cc.o" "gcc" "tests/CMakeFiles/bauvm_tests.dir/test_mem_units.cc.o.d"
+  "/root/repo/tests/test_memory_hierarchy.cc" "tests/CMakeFiles/bauvm_tests.dir/test_memory_hierarchy.cc.o" "gcc" "tests/CMakeFiles/bauvm_tests.dir/test_memory_hierarchy.cc.o.d"
+  "/root/repo/tests/test_regular_workloads.cc" "tests/CMakeFiles/bauvm_tests.dir/test_regular_workloads.cc.o" "gcc" "tests/CMakeFiles/bauvm_tests.dir/test_regular_workloads.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/bauvm_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/bauvm_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_sm.cc" "tests/CMakeFiles/bauvm_tests.dir/test_sm.cc.o" "gcc" "tests/CMakeFiles/bauvm_tests.dir/test_sm.cc.o.d"
+  "/root/repo/tests/test_smoke.cc" "tests/CMakeFiles/bauvm_tests.dir/test_smoke.cc.o" "gcc" "tests/CMakeFiles/bauvm_tests.dir/test_smoke.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/bauvm_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/bauvm_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_uvm_runtime.cc" "tests/CMakeFiles/bauvm_tests.dir/test_uvm_runtime.cc.o" "gcc" "tests/CMakeFiles/bauvm_tests.dir/test_uvm_runtime.cc.o.d"
+  "/root/repo/tests/test_uvm_units.cc" "tests/CMakeFiles/bauvm_tests.dir/test_uvm_units.cc.o" "gcc" "tests/CMakeFiles/bauvm_tests.dir/test_uvm_units.cc.o.d"
+  "/root/repo/tests/test_virtual_thread.cc" "tests/CMakeFiles/bauvm_tests.dir/test_virtual_thread.cc.o" "gcc" "tests/CMakeFiles/bauvm_tests.dir/test_virtual_thread.cc.o.d"
+  "/root/repo/tests/test_workloads_functional.cc" "tests/CMakeFiles/bauvm_tests.dir/test_workloads_functional.cc.o" "gcc" "tests/CMakeFiles/bauvm_tests.dir/test_workloads_functional.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bauvm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
