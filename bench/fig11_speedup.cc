@@ -8,6 +8,9 @@
  * Paper: TO+UE averages 2x over BASELINE, 1.81x over BASELINE with
  * PCIe compression, and 1.79x over ETC; TO alone contributes 22%, UE
  * adds another 61%; BFS-DWC gains 4.13x from UE.
+ *
+ * The (workload x policy) matrix runs on the parallel SweepRunner
+ * (--jobs N); pass --json PATH for the structured export.
  */
 
 #include <cstdio>
@@ -16,6 +19,7 @@
 
 #include "src/core/experiment.h"
 #include "src/core/report.h"
+#include "src/runner/sweep_runner.h"
 
 int
 main(int argc, char **argv)
@@ -23,25 +27,46 @@ main(int argc, char **argv)
     using namespace bauvm;
     const BenchOptions opt = parseBenchArgs(argc, argv);
 
-    const auto &workloads = irregularWorkloadNames();
-    const auto &policies = allPolicies();
-    auto results = runMatrix(workloads, policies, opt);
+    SweepSpec spec;
+    spec.bench = "fig11_speedup";
+    spec.workloads = irregularWorkloadNames();
+    spec.policies = allPolicies();
+    spec.opt = opt;
+
+    SweepRunner runner(spec);
+    const SweepResult sweep = runner.run();
+    std::fprintf(stderr,
+                 "fig11: %zu-cell matrix on %zu worker(s) in %.2fs\n",
+                 sweep.cells.size(), sweep.jobs, sweep.elapsed_s);
+    if (!opt.json_path.empty())
+        sweep.writeJson(opt.json_path);
 
     printBanner("Figure 11: speedup over BASELINE "
                 "(50% memory oversubscription)");
     std::vector<std::string> headers = {"workload"};
-    for (Policy p : policies)
+    for (Policy p : spec.policies)
         headers.push_back(policyName(p));
     Table t(headers);
 
     std::map<Policy, std::vector<double>> speedups;
-    for (const auto &w : workloads) {
-        const double base =
-            static_cast<double>(results[w][Policy::Baseline].cycles);
+    for (const auto &w : spec.workloads) {
+        const CellOutcome *base = sweep.find(w, Policy::Baseline);
+        if (!base || !base->ok) {
+            warn("fig11: skipping %s (baseline cell failed)",
+                 w.c_str());
+            continue;
+        }
+        const double base_cycles =
+            static_cast<double>(base->result.cycles);
         std::vector<std::string> row = {w};
-        for (Policy p : policies) {
+        for (Policy p : spec.policies) {
+            const CellOutcome *cell = sweep.find(w, p);
+            if (!cell || !cell->ok) {
+                row.push_back("FAIL");
+                continue;
+            }
             const double s =
-                base / static_cast<double>(results[w][p].cycles);
+                base_cycles / static_cast<double>(cell->result.cycles);
             speedups[p].push_back(s);
             row.push_back(Table::num(s, 2));
         }
@@ -50,11 +75,11 @@ main(int argc, char **argv)
     // The paper reports arithmetic-average speedups (the BFS-DWC
     // outlier pulls its 2x headline up); print both means.
     std::vector<std::string> avg = {"AVERAGE"};
-    for (Policy p : policies)
+    for (Policy p : spec.policies)
         avg.push_back(Table::num(amean(speedups[p]), 2));
     t.addRow(avg);
     std::vector<std::string> gmean = {"GEOMEAN"};
-    for (Policy p : policies)
+    for (Policy p : spec.policies)
         gmean.push_back(Table::num(geomean(speedups[p]), 2));
     t.addRow(gmean);
     t.emit(opt.csv);
@@ -67,9 +92,9 @@ main(int argc, char **argv)
     std::printf("  TO+UE vs BASELINE:            %.2fx (2.00x)\n",
                 toue);
     std::printf("  TO+UE vs BASELINE+PCIeC:      %.2fx (1.81x)\n",
-                toue / pciec);
+                pciec > 0.0 ? toue / pciec : 0.0);
     std::printf("  TO+UE vs ETC:                 %.2fx (1.79x)\n",
-                toue / etc);
+                etc > 0.0 ? toue / etc : 0.0);
     std::printf("  TO alone:                     %.2fx (1.22x)\n",
                 amean(speedups[Policy::To]));
     std::printf("  UE alone:                     %.2fx\n",

@@ -5,6 +5,10 @@
  * to ratio 1.0) and the speedup of unobtrusive eviction at each ratio.
  * Paper: UE is ineffective when everything fits (1.0) and reaches
  * 1.63x at ratio 0.1.
+ *
+ * The (ratio x workload x policy) sweep runs as one SweepRunner matrix
+ * with the ratio as a config variant, so all 100 cells parallelize
+ * across --jobs workers; pass --json PATH for the structured export.
  */
 
 #include <cstdio>
@@ -12,41 +16,65 @@
 
 #include "src/core/experiment.h"
 #include "src/core/report.h"
+#include "src/runner/sweep_runner.h"
 
 int
 main(int argc, char **argv)
 {
     using namespace bauvm;
-    BenchOptions opt = parseBenchArgs(argc, argv);
+    const BenchOptions opt = parseBenchArgs(argc, argv);
 
     // A representative subset keeps the sweep tractable (10 ratios x 2
     // policies x workloads).
-    const std::vector<std::string> workloads = {
+    SweepSpec spec;
+    spec.bench = "fig17_oversub_sensitivity";
+    spec.workloads = {
         "BFS-TTC", "BFS-TWC", "PR", "SSSP-TWC", "GC-DTC",
     };
+    spec.policies = {Policy::Baseline, Policy::Ue};
+    std::vector<double> ratios;
+    for (int step = 10; step >= 1; --step) {
+        const double ratio = step / 10.0;
+        ratios.push_back(ratio);
+        spec.variants.push_back(
+            {Table::num(ratio, 1),
+             [ratio](SimConfig &c) { c.memory_ratio = ratio; }});
+    }
+    spec.opt = opt;
+
+    SweepRunner runner(spec);
+    const SweepResult sweep = runner.run();
+    std::fprintf(stderr,
+                 "fig17: %zu-cell matrix on %zu worker(s) in %.2fs\n",
+                 sweep.cells.size(), sweep.jobs, sweep.elapsed_s);
+    if (!opt.json_path.empty())
+        sweep.writeJson(opt.json_path);
 
     printBanner("Figure 17: sensitivity to oversubscription ratio");
     Table t({"ratio", "relative exec time (baseline)", "speedup of UE"});
 
-    std::vector<double> base_at_1(workloads.size(), 0.0);
-    for (int step = 10; step >= 1; --step) {
-        const double ratio = step / 10.0;
-        opt.ratio = ratio;
+    std::vector<double> base_at_1(spec.workloads.size(), 0.0);
+    for (std::size_t r = 0; r < ratios.size(); ++r) {
+        const std::string &variant = spec.variants[r].label;
         std::vector<double> rel, spd;
-        for (std::size_t i = 0; i < workloads.size(); ++i) {
-            std::fprintf(stderr, "  ratio %.1f %s ...\n", ratio,
-                         workloads[i].c_str());
-            const RunResult rb =
-                runCell(workloads[i], Policy::Baseline, opt);
-            const RunResult ru = runCell(workloads[i], Policy::Ue, opt);
-            if (step == 10)
-                base_at_1[i] = static_cast<double>(rb.cycles);
-            rel.push_back(static_cast<double>(rb.cycles) /
+        for (std::size_t i = 0; i < spec.workloads.size(); ++i) {
+            const auto &w = spec.workloads[i];
+            const CellOutcome *rb =
+                sweep.find(w, Policy::Baseline, variant);
+            const CellOutcome *ru = sweep.find(w, Policy::Ue, variant);
+            if (!rb || !rb->ok || !ru || !ru->ok) {
+                warn("fig17: skipping %s at ratio %s (cell failed)",
+                     w.c_str(), variant.c_str());
+                continue;
+            }
+            if (r == 0)
+                base_at_1[i] = static_cast<double>(rb->result.cycles);
+            rel.push_back(static_cast<double>(rb->result.cycles) /
                           base_at_1[i]);
-            spd.push_back(static_cast<double>(rb.cycles) /
-                          static_cast<double>(ru.cycles));
+            spd.push_back(static_cast<double>(rb->result.cycles) /
+                          static_cast<double>(ru->result.cycles));
         }
-        t.addRow({Table::num(ratio, 1), Table::num(amean(rel), 2),
+        t.addRow({variant, Table::num(amean(rel), 2),
                   Table::num(amean(spd), 2)});
     }
     t.emit(opt.csv);

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "src/runner/job.h"
+#include "src/runner/sweep_runner.h"
 #include "src/sim/log.h"
 
 namespace bauvm
@@ -20,6 +22,22 @@ parseBenchArgs(int argc, char **argv)
                 fatal("missing value for %s", what);
             return argv[++i];
         };
+        auto next_u64 = [&](const char *what) -> std::uint64_t {
+            const std::string v = next(what);
+            try {
+                return std::stoull(v);
+            } catch (const std::exception &) {
+                fatal("invalid value '%s' for %s", v.c_str(), what);
+            }
+        };
+        auto next_f64 = [&](const char *what) -> double {
+            const std::string v = next(what);
+            try {
+                return std::stod(v);
+            } catch (const std::exception &) {
+                fatal("invalid value '%s' for %s", v.c_str(), what);
+            }
+        };
         if (arg == "--csv") {
             opt.csv = true;
         } else if (arg == "--scale") {
@@ -35,12 +53,26 @@ parseBenchArgs(int argc, char **argv)
             else
                 fatal("unknown scale '%s'", v.c_str());
         } else if (arg == "--ratio") {
-            opt.ratio = std::stod(next("--ratio"));
+            opt.ratio = next_f64("--ratio");
         } else if (arg == "--seed") {
-            opt.seed = std::stoull(next("--seed"));
+            opt.seed = next_u64("--seed");
+        } else if (arg == "--jobs") {
+            opt.jobs = next_u64("--jobs");
+        } else if (arg == "--json") {
+            opt.json_path = next("--json");
+        } else if (arg == "--timeout") {
+            opt.timeout_s = next_f64("--timeout");
+            if (opt.timeout_s < 0.0)
+                fatal("--timeout must be >= 0");
         } else if (arg == "--help" || arg == "-h") {
-            std::printf("options: --scale tiny|small|medium|large "
-                        "--ratio R --seed N --csv\n");
+            std::printf(
+                "options: --scale tiny|small|medium|large --ratio R "
+                "--seed N --csv --jobs N --json PATH --timeout S\n"
+                "  --jobs N     sweep worker threads "
+                "(0 = hardware concurrency, default)\n"
+                "  --json PATH  export sweep results as JSON "
+                "('-' = stdout)\n"
+                "  --timeout S  per-cell soft timeout in seconds\n");
             std::exit(0);
         } else {
             fatal("unknown argument '%s'", arg.c_str());
@@ -49,11 +81,30 @@ parseBenchArgs(int argc, char **argv)
     return opt;
 }
 
+std::string
+scaleName(WorkloadScale scale)
+{
+    switch (scale) {
+      case WorkloadScale::Tiny:
+        return "tiny";
+      case WorkloadScale::Small:
+        return "small";
+      case WorkloadScale::Medium:
+        return "medium";
+      case WorkloadScale::Large:
+        return "large";
+    }
+    fatal("scaleName: bad scale");
+}
+
 RunResult
 runCell(const std::string &workload, Policy policy,
         const BenchOptions &opt)
 {
-    SimConfig config = paperConfig(opt.ratio, opt.seed);
+    // Same seed derivation as SweepRunner, so a direct runCell() call
+    // reproduces the matching runMatrix() cell bit-for-bit.
+    SimConfig config =
+        paperConfig(opt.ratio, deriveWorkloadSeed(opt.seed, workload));
     config = applyPolicy(config, policy);
     return runWorkload(config, workload, opt.scale);
 }
@@ -63,15 +114,26 @@ runMatrix(const std::vector<std::string> &workloads,
           const std::vector<Policy> &policies, const BenchOptions &opt,
           bool verbose)
 {
+    SweepSpec spec;
+    spec.bench = "runMatrix";
+    spec.workloads = workloads;
+    spec.policies = policies;
+    spec.opt = opt;
+    spec.verbose = verbose;
+
+    SweepRunner runner(std::move(spec));
+    const SweepResult sweep = runner.run();
+
     std::map<std::string, std::map<Policy, RunResult>> results;
-    for (const auto &w : workloads) {
-        for (Policy p : policies) {
-            if (verbose) {
-                std::fprintf(stderr, "  running %s / %s ...\n",
-                             w.c_str(), policyName(p).c_str());
-            }
-            results[w][p] = runCell(w, p, opt);
+    for (const auto &cell : sweep.cells) {
+        if (!cell.ok) {
+            warn("runMatrix: cell %s/%s failed: %s",
+                 cell.workload.c_str(),
+                 policyName(cell.policy).c_str(), cell.error.c_str());
+            results[cell.workload][cell.policy] = RunResult{};
+            continue;
         }
+        results[cell.workload][cell.policy] = cell.result;
     }
     return results;
 }
@@ -90,12 +152,18 @@ amean(const std::vector<double> &values)
 double
 geomean(const std::vector<double> &values)
 {
-    if (values.empty())
+    if (values.empty()) {
+        warn("geomean: empty input, returning 0");
         return 0.0;
+    }
     double log_sum = 0.0;
     for (double v : values) {
-        if (v <= 0.0)
-            panic("geomean: non-positive value %f", v);
+        if (!(v > 0.0) || !std::isfinite(v)) {
+            // One failed sweep cell yields a 0/inf/nan speedup; keep
+            // the bench binary alive and make the bad mean obvious.
+            warn("geomean: non-positive value %f, returning 0", v);
+            return 0.0;
+        }
         log_sum += std::log(v);
     }
     return std::exp(log_sum / static_cast<double>(values.size()));

@@ -2,7 +2,13 @@
  * @file
  * Experiment harness shared by the bench binaries: runs (workload x
  * policy) matrices, computes normalized speedups and geometric means,
- * and parses the common bench command line (--scale / --csv / --ratio).
+ * and parses the common bench command line (--scale / --csv / --ratio
+ * / --seed / --jobs / --json / --timeout).
+ *
+ * runMatrix() delegates to the parallel SweepRunner (src/runner): the
+ * matrix executes on opt.jobs worker threads with per-cell seeds
+ * derived deterministically from (seed, workload), so the results are
+ * bit-identical for any --jobs value.
  */
 
 #ifndef BAUVM_CORE_EXPERIMENT_H_
@@ -26,17 +32,36 @@ struct BenchOptions {
     bool csv = false;
     double ratio = 0.5; //!< oversubscription ratio
     std::uint64_t seed = 1;
+    /** Sweep worker threads; 0 = hardware_concurrency. */
+    std::size_t jobs = 0;
+    /** Sweep JSON export path ("" = off, "-" = stdout). */
+    std::string json_path;
+    /** Per-cell soft timeout in seconds; 0 = disabled. */
+    double timeout_s = 0.0;
 };
 
-/** Parses --scale tiny|small|medium|large, --csv, --ratio R, --seed N. */
+/**
+ * Parses --scale tiny|small|medium|large, --csv, --ratio R, --seed N,
+ * --jobs N, --json PATH, --timeout S.
+ */
 BenchOptions parseBenchArgs(int argc, char **argv);
+
+/** Lower-case scale name ("tiny" ... "large") as --scale accepts it. */
+std::string scaleName(WorkloadScale scale);
 
 /** Runs one (workload, policy) cell of the evaluation matrix. */
 RunResult runCell(const std::string &workload, Policy policy,
                   const BenchOptions &opt);
 
 /**
- * Runs @p policies for every workload in @p workloads.
+ * Runs @p policies for every workload in @p workloads on opt.jobs
+ * worker threads (see file doc for the determinism guarantee).
+ *
+ * A failed cell (fatal/panic/exception inside the simulation) is
+ * warn()ed and left default-constructed in the returned map instead of
+ * aborting the process; callers needing per-cell error detail should
+ * drive SweepRunner directly.
+ *
  * @return results[workload][policy].
  */
 std::map<std::string, std::map<Policy, RunResult>> runMatrix(
@@ -44,7 +69,11 @@ std::map<std::string, std::map<Policy, RunResult>> runMatrix(
     const std::vector<Policy> &policies, const BenchOptions &opt,
     bool verbose = true);
 
-/** Geometric mean of @p values (must be positive). */
+/**
+ * Geometric mean of @p values. Returns 0.0 (with a warn) on an empty
+ * input or any non-positive value, so one failed sweep cell cannot
+ * abort a whole bench binary.
+ */
 double geomean(const std::vector<double> &values);
 
 /** Arithmetic mean (the paper reports arithmetic-average speedups). */

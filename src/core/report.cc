@@ -30,8 +30,8 @@ Table::num(double v, int precision)
     return buf;
 }
 
-void
-Table::print() const
+std::string
+Table::toText() const
 {
     std::vector<std::size_t> widths(headers_.size());
     for (std::size_t c = 0; c < headers_.size(); ++c)
@@ -40,32 +40,51 @@ Table::print() const
         for (std::size_t c = 0; c < row.size(); ++c)
             widths[c] = std::max(widths[c], row[c].size());
     }
-    auto print_row = [&](const std::vector<std::string> &row) {
-        for (std::size_t c = 0; c < row.size(); ++c)
-            std::printf("%-*s  ", static_cast<int>(widths[c]),
-                        row[c].c_str());
-        std::printf("\n");
+    std::string out;
+    auto append_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out += row[c];
+            out.append(widths[c] - row[c].size() + 2, ' ');
+        }
+        out += '\n';
     };
-    print_row(headers_);
+    append_row(headers_);
     std::size_t total = 0;
     for (auto w : widths)
         total += w + 2;
-    std::printf("%s\n", std::string(total, '-').c_str());
+    out.append(total, '-');
+    out += '\n';
     for (const auto &row : rows_)
-        print_row(row);
+        append_row(row);
+    return out;
+}
+
+std::string
+Table::toCsv() const
+{
+    std::string out;
+    auto append_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out += row[c];
+            out += c + 1 == row.size() ? '\n' : ',';
+        }
+    };
+    append_row(headers_);
+    for (const auto &row : rows_)
+        append_row(row);
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::fputs(toText().c_str(), stdout);
 }
 
 void
 Table::printCsv() const
 {
-    auto print_row = [](const std::vector<std::string> &row) {
-        for (std::size_t c = 0; c < row.size(); ++c)
-            std::printf("%s%s", row[c].c_str(),
-                        c + 1 == row.size() ? "\n" : ",");
-    };
-    print_row(headers_);
-    for (const auto &row : rows_)
-        print_row(row);
+    std::fputs(toCsv().c_str(), stdout);
 }
 
 void

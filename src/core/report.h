@@ -24,6 +24,15 @@ class Table
     /** Formats a double with @p precision decimals. */
     static std::string num(double v, int precision = 3);
 
+    /**
+     * Renders aligned columns as a string. Pure function of the rows,
+     * so tests can compare parallel vs. serial sweeps byte-for-byte.
+     */
+    std::string toText() const;
+
+    /** Renders CSV as a string (same determinism note as toText). */
+    std::string toCsv() const;
+
     /** Prints aligned columns to stdout. */
     void print() const;
 

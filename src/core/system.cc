@@ -66,6 +66,7 @@ GpuUvmSystem::run(Workload &workload, WorkloadScale scale)
 
     RunResult r;
     r.workload = workload.name();
+    r.seed = config_.seed;
     r.footprint_bytes = workload.footprintBytes();
     r.capacity_pages = manager_.capacityPages();
 

@@ -28,6 +28,7 @@ namespace bauvm
 /** Everything a figure might want from one simulation run. */
 struct RunResult {
     std::string workload;
+    std::uint64_t seed = 0;            //!< config.seed used for the run
     Cycle cycles = 0;                  //!< total execution time
     std::uint64_t kernels = 0;
     std::uint64_t instructions = 0;

@@ -1,0 +1,55 @@
+#include "src/runner/job_queue.h"
+
+namespace bauvm
+{
+
+bool
+JobQueue::push(Thunk thunk)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_)
+            return false;
+        queue_.push_back(std::move(thunk));
+    }
+    ready_.notify_one();
+    return true;
+}
+
+bool
+JobQueue::pop(Thunk *out)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+    if (queue_.empty())
+        return false; // closed and drained
+    *out = std::move(queue_.front());
+    queue_.pop_front();
+    return true;
+}
+
+void
+JobQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    ready_.notify_all();
+}
+
+std::size_t
+JobQueue::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+bool
+JobQueue::closed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+}
+
+} // namespace bauvm

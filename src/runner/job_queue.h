@@ -1,0 +1,61 @@
+/**
+ * @file
+ * A closable multi-producer/multi-consumer FIFO of thunks, the feed
+ * between SweepRunner (producer) and ThreadPool workers (consumers).
+ *
+ * Shared-nothing by design: jobs carry everything they need, the queue
+ * only hands them out, so there is no work stealing and no cross-job
+ * state to race on.
+ */
+
+#ifndef BAUVM_RUNNER_JOB_QUEUE_H_
+#define BAUVM_RUNNER_JOB_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+namespace bauvm
+{
+
+class JobQueue
+{
+  public:
+    using Thunk = std::function<void()>;
+
+    JobQueue() = default;
+    JobQueue(const JobQueue &) = delete;
+    JobQueue &operator=(const JobQueue &) = delete;
+
+    /**
+     * Enqueues a thunk. @return false (dropping the thunk) when the
+     * queue has been closed.
+     */
+    bool push(Thunk thunk);
+
+    /**
+     * Blocks until a thunk is available or the queue is closed and
+     * drained. @return false on closed-and-drained (worker exit).
+     */
+    bool pop(Thunk *out);
+
+    /** Closes the queue: push() rejects, pop() drains then fails. */
+    void close();
+
+    /** Pending (not yet popped) thunks. */
+    std::size_t size() const;
+
+    bool closed() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::condition_variable ready_;
+    std::deque<Thunk> queue_;
+    bool closed_ = false;
+};
+
+} // namespace bauvm
+
+#endif // BAUVM_RUNNER_JOB_QUEUE_H_

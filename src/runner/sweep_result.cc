@@ -1,0 +1,120 @@
+#include "src/runner/sweep_result.h"
+
+#include <cstdio>
+
+#include "src/core/experiment.h"
+#include "src/runner/json_writer.h"
+#include "src/sim/log.h"
+
+namespace bauvm
+{
+
+std::size_t
+SweepResult::failedCells() const
+{
+    std::size_t n = 0;
+    for (const auto &c : cells)
+        n += c.ok ? 0 : 1;
+    return n;
+}
+
+const CellOutcome *
+SweepResult::find(const std::string &workload, Policy policy,
+                  const std::string &variant) const
+{
+    for (const auto &c : cells) {
+        if (c.workload == workload && c.policy == policy &&
+            c.variant == variant)
+            return &c;
+    }
+    return nullptr;
+}
+
+namespace
+{
+
+void
+writeRunResult(JsonWriter &w, const RunResult &r)
+{
+    w.beginObject("result");
+    w.field("cycles", static_cast<std::uint64_t>(r.cycles));
+    w.field("kernels", r.kernels);
+    w.field("instructions", r.instructions);
+    w.field("footprint_bytes", r.footprint_bytes);
+    w.field("capacity_pages", r.capacity_pages);
+    w.field("batches", r.batches);
+    w.field("avg_batch_pages", r.avg_batch_pages);
+    w.field("avg_batch_time", r.avg_batch_time);
+    w.field("avg_handling_time", r.avg_handling_time);
+    w.field("demand_pages", r.demand_pages);
+    w.field("prefetched_pages", r.prefetched_pages);
+    w.field("migrations", r.migrations);
+    w.field("evictions", r.evictions);
+    w.field("premature_evictions", r.premature_evictions);
+    w.field("premature_rate", r.premature_rate);
+    w.field("context_switches", r.context_switches);
+    w.field("context_switch_cycles", r.context_switch_cycles);
+    w.field("pcie_h2d_bytes", r.pcie_h2d_bytes);
+    w.field("pcie_d2h_bytes", r.pcie_d2h_bytes);
+    w.endObject();
+}
+
+} // namespace
+
+std::string
+SweepResult::toJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema", kSchema);
+    w.field("bench", bench);
+    w.field("base_seed", base_seed);
+    w.field("scale", scaleName(scale));
+    w.field("ratio", ratio);
+    w.field("jobs", static_cast<std::uint64_t>(jobs));
+    w.field("elapsed_s", elapsed_s);
+    w.beginArray("cells");
+    for (const auto &c : cells) {
+        w.beginObject();
+        w.field("workload", c.workload);
+        w.field("policy", policyName(c.policy));
+        w.field("variant", c.variant);
+        w.field("seed", c.seed);
+        w.field("job_seed", c.job_seed);
+        w.field("ok", c.ok);
+        w.field("timed_out", c.timed_out);
+        w.field("error", c.error);
+        w.field("wall_s", c.wall_s);
+        if (c.ok)
+            writeRunResult(w, c.result);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+bool
+SweepResult::writeJson(const std::string &path) const
+{
+    const std::string doc = toJson();
+    if (path == "-") {
+        std::fwrite(doc.data(), 1, doc.size(), stdout);
+        return true;
+    }
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("sweep: cannot open '%s' for writing", path.c_str());
+        return false;
+    }
+    const std::size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    if (n != doc.size()) {
+        warn("sweep: short write to '%s'", path.c_str());
+        return false;
+    }
+    inform("sweep: wrote %zu cells to %s", cells.size(), path.c_str());
+    return true;
+}
+
+} // namespace bauvm

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Structured aggregation of one sweep: every cell outcome plus the
+ * sweep-level metadata, exportable as schema-versioned JSON alongside
+ * the Table/CSV output the bench binaries already print.
+ *
+ * JSON schema "bauvm.sweep/1":
+ * {
+ *   "schema": "bauvm.sweep/1",
+ *   "bench": "<bench name>",
+ *   "base_seed": u64, "scale": "tiny|small|medium|large",
+ *   "ratio": f64, "jobs": u64, "elapsed_s": f64,
+ *   "cells": [
+ *     { "workload": str, "policy": str, "variant": str,
+ *       "seed": u64, "job_seed": u64,
+ *       "ok": bool, "timed_out": bool, "error": str, "wall_s": f64,
+ *       "result": { <RunResult scalar fields> }   // present iff ok
+ *     }, ...
+ *   ]
+ * }
+ * Cells appear in deterministic matrix order (variant-major, then
+ * workload, then policy), never in completion order.
+ */
+
+#ifndef BAUVM_RUNNER_SWEEP_RESULT_H_
+#define BAUVM_RUNNER_SWEEP_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/runner/job.h"
+#include "src/workloads/workload.h"
+
+namespace bauvm
+{
+
+struct SweepResult {
+    /** Bumped whenever the JSON layout changes incompatibly. */
+    static constexpr const char *kSchema = "bauvm.sweep/1";
+
+    std::string bench;          //!< producing binary, e.g. "fig11_speedup"
+    std::uint64_t base_seed = 0;
+    WorkloadScale scale = WorkloadScale::Small;
+    double ratio = 0.0;
+    std::size_t jobs = 1;       //!< worker threads actually used
+    double elapsed_s = 0.0;     //!< whole-sweep wall clock
+
+    std::vector<CellOutcome> cells; //!< deterministic matrix order
+
+    /** Cells with ok == false. */
+    std::size_t failedCells() const;
+
+    /**
+     * Finds a cell by coordinates; nullptr when absent. Failed cells
+     * are still found (check ->ok).
+     */
+    const CellOutcome *find(const std::string &workload, Policy policy,
+                            const std::string &variant = "") const;
+
+    /** Serializes the whole sweep as schema-versioned JSON. */
+    std::string toJson() const;
+
+    /**
+     * Writes toJson() to @p path ("-" = stdout). @return false (with a
+     * warn) when the file cannot be written.
+     */
+    bool writeJson(const std::string &path) const;
+};
+
+} // namespace bauvm
+
+#endif // BAUVM_RUNNER_SWEEP_RESULT_H_

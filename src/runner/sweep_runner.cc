@@ -1,0 +1,192 @@
+#include "src/runner/sweep_runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+
+#include "src/runner/thread_pool.h"
+#include "src/sim/log.h"
+
+namespace bauvm
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** Runs one cell with abort capture; never throws. */
+CellOutcome
+executeJob(const SweepJob &job, const SweepSpec &spec)
+{
+    CellOutcome out;
+    out.workload = job.workload;
+    out.policy = job.policy;
+    out.variant = job.variant;
+    out.seed = job.seed;
+    out.job_seed = job.job_seed;
+
+    const auto t0 = Clock::now();
+    try {
+        ScopedAbortCapture capture;
+        SimConfig config = paperConfig(spec.opt.ratio, job.seed);
+        config = applyPolicy(config, job.policy);
+        if (job.variant_index < spec.variants.size() &&
+            spec.variants[job.variant_index].mutate)
+            spec.variants[job.variant_index].mutate(config);
+        out.result = runWorkload(config, job.workload, spec.opt.scale);
+        out.ok = true;
+    } catch (const SimAbort &e) {
+        out.error = e.what();
+    } catch (const std::exception &e) {
+        out.error = e.what();
+    } catch (...) {
+        out.error = "unknown exception";
+    }
+    out.wall_s = secondsSince(t0);
+
+    if (out.ok && spec.opt.timeout_s > 0.0 &&
+        out.wall_s > spec.opt.timeout_s) {
+        out.ok = false;
+        out.timed_out = true;
+        char buf[128];
+        std::snprintf(buf, sizeof buf,
+                      "soft timeout: cell took %.2fs (budget %.2fs), "
+                      "result discarded",
+                      out.wall_s, spec.opt.timeout_s);
+        out.error = buf;
+    }
+    return out;
+}
+
+} // namespace
+
+SweepRunner::SweepRunner(SweepSpec spec)
+    : spec_(std::move(spec))
+{
+    if (spec_.workloads.empty())
+        fatal("SweepRunner: no workloads");
+    if (spec_.policies.empty())
+        fatal("SweepRunner: no policies");
+}
+
+void
+SweepRunner::setProgress(ProgressFn fn)
+{
+    progress_ = std::move(fn);
+    progress_overridden_ = true;
+}
+
+std::size_t
+SweepRunner::cellCount() const
+{
+    const std::size_t variants =
+        spec_.variants.empty() ? 1 : spec_.variants.size();
+    return variants * spec_.workloads.size() * spec_.policies.size();
+}
+
+SweepResult
+SweepRunner::run()
+{
+    // Expand the matrix in deterministic order: variant-major, then
+    // workload, then policy. Result slots are preallocated so workers
+    // write by index and completion order never matters.
+    const std::size_t variants =
+        spec_.variants.empty() ? 1 : spec_.variants.size();
+    std::vector<SweepJob> jobs;
+    jobs.reserve(cellCount());
+    for (std::size_t v = 0; v < variants; ++v) {
+        const std::string label =
+            spec_.variants.empty() ? "" : spec_.variants[v].label;
+        for (const auto &w : spec_.workloads) {
+            for (Policy p : spec_.policies) {
+                SweepJob job;
+                job.index = jobs.size();
+                job.workload = w;
+                job.policy = p;
+                job.variant = label;
+                job.variant_index = v;
+                job.seed = deriveWorkloadSeed(spec_.opt.seed, w);
+                job.job_seed =
+                    deriveJobSeed(spec_.opt.seed, w, p, label);
+                jobs.push_back(std::move(job));
+            }
+        }
+    }
+
+    SweepResult result;
+    result.bench = spec_.bench;
+    result.base_seed = spec_.opt.seed;
+    result.scale = spec_.opt.scale;
+    result.ratio = spec_.opt.ratio;
+    result.cells.resize(jobs.size());
+
+    std::size_t workers = spec_.opt.jobs == 0
+                              ? ThreadPool::hardwareJobs()
+                              : spec_.opt.jobs;
+    workers = std::max<std::size_t>(
+        1, std::min(workers, jobs.size()));
+    result.jobs = workers;
+
+    const auto t0 = Clock::now();
+
+    ProgressFn progress = progress_;
+    if (!progress_overridden_ && spec_.verbose) {
+        const std::size_t total = jobs.size();
+        progress = [total, t0](const CellOutcome &cell,
+                               std::size_t done, std::size_t) {
+            const double elapsed = secondsSince(t0);
+            const double eta =
+                done == 0 ? 0.0
+                          : elapsed / static_cast<double>(done) *
+                                static_cast<double>(total - done);
+            std::fprintf(
+                stderr, "  [%zu/%zu] %s/%s%s%s %s %.2fs | ETA %.0fs\n",
+                done, total, cell.workload.c_str(),
+                policyName(cell.policy).c_str(),
+                cell.variant.empty() ? "" : " ",
+                cell.variant.c_str(), cell.ok ? "ok" : "FAILED",
+                cell.wall_s, eta);
+        };
+    }
+
+    std::mutex progress_mutex;
+    std::size_t done = 0;
+
+    {
+        ThreadPool pool(workers);
+        for (const SweepJob &job : jobs) {
+            pool.submit([this, &job, &result, &progress,
+                         &progress_mutex, &done, total = jobs.size()] {
+                CellOutcome cell = executeJob(job, spec_);
+                result.cells[job.index] = cell;
+                std::lock_guard<std::mutex> lock(progress_mutex);
+                ++done;
+                if (progress)
+                    progress(cell, done, total);
+            });
+        }
+        pool.wait();
+    }
+
+    result.elapsed_s = secondsSince(t0);
+
+    if (spec_.verbose) {
+        std::fprintf(stderr,
+                     "  sweep: %zu cells on %zu worker(s) in %.2fs "
+                     "(%zu failed)\n",
+                     result.cells.size(), workers, result.elapsed_s,
+                     result.failedCells());
+    }
+    return result;
+}
+
+} // namespace bauvm

@@ -1,0 +1,77 @@
+#include "src/runner/thread_pool.h"
+
+#include <algorithm>
+
+namespace bauvm
+{
+
+ThreadPool::ThreadPool(std::size_t workers)
+{
+    if (workers == 0)
+        workers = hardwareJobs();
+    workers_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    shutdown();
+}
+
+std::size_t
+ThreadPool::hardwareJobs()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return std::max(1u, n);
+}
+
+bool
+ThreadPool::submit(JobQueue::Thunk thunk)
+{
+    {
+        std::lock_guard<std::mutex> lock(idle_mutex_);
+        ++pending_;
+    }
+    if (!queue_.push(std::move(thunk))) {
+        std::lock_guard<std::mutex> lock(idle_mutex_);
+        --pending_;
+        return false;
+    }
+    return true;
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(idle_mutex_);
+    idle_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void
+ThreadPool::shutdown()
+{
+    queue_.close();
+    for (auto &t : workers_) {
+        if (t.joinable())
+            t.join();
+    }
+    workers_.clear();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    JobQueue::Thunk thunk;
+    while (queue_.pop(&thunk)) {
+        thunk();
+        thunk = nullptr; // release captures before blocking again
+        {
+            std::lock_guard<std::mutex> lock(idle_mutex_);
+            --pending_;
+        }
+        idle_.notify_all();
+    }
+}
+
+} // namespace bauvm

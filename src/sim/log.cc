@@ -1,40 +1,84 @@
 #include "src/sim/log.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <vector>
 
 namespace bauvm
 {
 
 namespace
 {
-LogLevel g_level = LogLevel::Warn;
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+// Serializes writes to stderr across sweep-runner worker threads.
+std::mutex g_print_mutex;
+
+// Depth of nested ScopedAbortCapture guards on this thread.
+thread_local int t_capture_depth = 0;
+
+/** Formats "tag: message" into a string (no trailing newline). */
+std::string
+vformat(const char *tag, const char *fmt, std::va_list ap)
+{
+    std::va_list ap2;
+    va_copy(ap2, ap);
+    const int n = std::vsnprintf(nullptr, 0, fmt, ap2);
+    va_end(ap2);
+
+    std::string out(tag);
+    out += ": ";
+    if (n > 0) {
+        std::vector<char> buf(static_cast<std::size_t>(n) + 1);
+        std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+        out.append(buf.data(), static_cast<std::size_t>(n));
+    }
+    return out;
+}
 
 void
 vprint(const char *tag, const char *fmt, std::va_list ap)
 {
-    std::fprintf(stderr, "%s: ", tag);
-    std::vfprintf(stderr, fmt, ap);
-    std::fprintf(stderr, "\n");
+    const std::string line = vformat(tag, fmt, ap);
+    std::lock_guard<std::mutex> lock(g_print_mutex);
+    std::fprintf(stderr, "%s\n", line.c_str());
 }
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
+}
+
+ScopedAbortCapture::ScopedAbortCapture()
+{
+    ++t_capture_depth;
+}
+
+ScopedAbortCapture::~ScopedAbortCapture()
+{
+    --t_capture_depth;
+}
+
+bool
+ScopedAbortCapture::active()
+{
+    return t_capture_depth > 0;
 }
 
 void
 inform(const char *fmt, ...)
 {
-    if (g_level < LogLevel::Info)
+    if (logLevel() < LogLevel::Info)
         return;
     std::va_list ap;
     va_start(ap, fmt);
@@ -45,7 +89,7 @@ inform(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (g_level < LogLevel::Warn)
+    if (logLevel() < LogLevel::Warn)
         return;
     std::va_list ap;
     va_start(ap, fmt);
@@ -56,7 +100,7 @@ warn(const char *fmt, ...)
 void
 debugLog(const char *fmt, ...)
 {
-    if (g_level < LogLevel::Debug)
+    if (logLevel() < LogLevel::Debug)
         return;
     std::va_list ap;
     va_start(ap, fmt);
@@ -69,6 +113,11 @@ panic(const char *fmt, ...)
 {
     std::va_list ap;
     va_start(ap, fmt);
+    if (ScopedAbortCapture::active()) {
+        std::string msg = vformat("panic", fmt, ap);
+        va_end(ap);
+        throw SimAbort(std::move(msg), /*is_panic=*/true);
+    }
     vprint("panic", fmt, ap);
     va_end(ap);
     std::abort();
@@ -79,6 +128,11 @@ fatal(const char *fmt, ...)
 {
     std::va_list ap;
     va_start(ap, fmt);
+    if (ScopedAbortCapture::active()) {
+        std::string msg = vformat("fatal", fmt, ap);
+        va_end(ap);
+        throw SimAbort(std::move(msg), /*is_panic=*/false);
+    }
     vprint("fatal", fmt, ap);
     va_end(ap);
     std::exit(1);

@@ -5,12 +5,24 @@
  * Follows the gem5 convention: panic() flags a simulator bug and aborts;
  * fatal() flags a user/configuration error and exits cleanly; warn() and
  * inform() print status without stopping the simulation.
+ *
+ * All helpers are thread-safe: the verbosity level is atomic and every
+ * printer emits its line with a single serialized write, so messages
+ * from concurrent sweep jobs never interleave mid-line.
+ *
+ * For the parallel experiment runner, a thread can opt into *abort
+ * capture* (ScopedAbortCapture): while active, fatal() and panic() on
+ * that thread throw SimAbort instead of terminating the process, so one
+ * failing sweep cell is reported as a failed cell rather than killing
+ * the whole sweep.
  */
 
 #ifndef BAUVM_SIM_LOG_H_
 #define BAUVM_SIM_LOG_H_
 
 #include <cstdarg>
+#include <stdexcept>
+#include <string>
 
 namespace bauvm
 {
@@ -46,6 +58,43 @@ void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
  */
 [[noreturn]] void fatal(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+/**
+ * Thrown by fatal()/panic() on threads that have an active
+ * ScopedAbortCapture instead of terminating the process.
+ */
+class SimAbort : public std::runtime_error
+{
+  public:
+    SimAbort(std::string message, bool is_panic)
+        : std::runtime_error(message), is_panic_(is_panic)
+    {
+    }
+
+    /** true when raised by panic(), false when raised by fatal(). */
+    bool isPanic() const { return is_panic_; }
+
+  private:
+    bool is_panic_;
+};
+
+/**
+ * RAII guard: while alive on a thread, fatal() and panic() on that
+ * thread throw SimAbort instead of calling std::exit/std::abort.
+ * Nestable; capture stays active until the outermost guard dies.
+ */
+class ScopedAbortCapture
+{
+  public:
+    ScopedAbortCapture();
+    ~ScopedAbortCapture();
+
+    ScopedAbortCapture(const ScopedAbortCapture &) = delete;
+    ScopedAbortCapture &operator=(const ScopedAbortCapture &) = delete;
+
+    /** true when the calling thread currently captures aborts. */
+    static bool active();
+};
 
 } // namespace bauvm
 

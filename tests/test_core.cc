@@ -83,16 +83,37 @@ TEST(Experiment, GeomeanOfTwoAndHalfIsOne)
     EXPECT_NEAR(geomean({2.0, 0.5}), 1.0, 1e-12);
 }
 
+TEST(Experiment, GeomeanToleratesBadValues)
+{
+    // A failed sweep cell yields a 0 or empty speedup; geomean must
+    // not abort the bench binary for it.
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({2.0, 0.0}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({2.0, -1.0}), 0.0);
+}
+
 TEST(Experiment, ParseBenchArgs)
 {
     const char *argv[] = {"prog", "--scale", "large", "--csv",
-                          "--ratio", "0.25", "--seed", "9"};
+                          "--ratio", "0.25", "--seed", "9", "--jobs",
+                          "3", "--json", "out.json", "--timeout", "5"};
     const BenchOptions opt =
-        parseBenchArgs(8, const_cast<char **>(argv));
+        parseBenchArgs(14, const_cast<char **>(argv));
     EXPECT_EQ(opt.scale, WorkloadScale::Large);
     EXPECT_TRUE(opt.csv);
     EXPECT_DOUBLE_EQ(opt.ratio, 0.25);
     EXPECT_EQ(opt.seed, 9u);
+    EXPECT_EQ(opt.jobs, 3u);
+    EXPECT_EQ(opt.json_path, "out.json");
+    EXPECT_DOUBLE_EQ(opt.timeout_s, 5.0);
+}
+
+TEST(Experiment, ScaleNamesRoundTrip)
+{
+    EXPECT_EQ(scaleName(WorkloadScale::Tiny), "tiny");
+    EXPECT_EQ(scaleName(WorkloadScale::Small), "small");
+    EXPECT_EQ(scaleName(WorkloadScale::Medium), "medium");
+    EXPECT_EQ(scaleName(WorkloadScale::Large), "large");
 }
 
 TEST(Experiment, DefaultBenchArgs)
@@ -103,6 +124,9 @@ TEST(Experiment, DefaultBenchArgs)
     EXPECT_EQ(opt.scale, WorkloadScale::Small);
     EXPECT_FALSE(opt.csv);
     EXPECT_DOUBLE_EQ(opt.ratio, 0.5);
+    EXPECT_EQ(opt.jobs, 0u); // 0 = hardware concurrency
+    EXPECT_TRUE(opt.json_path.empty());
+    EXPECT_DOUBLE_EQ(opt.timeout_s, 0.0);
 }
 
 TEST(Report, NumFormatsPrecision)
