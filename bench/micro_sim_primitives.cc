@@ -8,12 +8,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "src/graph/generator.h"
 #include "src/gpu/coalescer.h"
 #include "src/mem/cache.h"
 #include "src/mem/page_table_walker.h"
 #include "src/mem/tlb.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/legacy_event_queue.h"
 #include "src/sim/rng.h"
 
 namespace
@@ -21,11 +24,27 @@ namespace
 
 using namespace bauvm;
 
+// ---------------------------------------------------------------------
+// Event-queue kernels. Each shape runs against both the production
+// slab/calendar kernel (EventQueue) and the retained std::function +
+// unordered_map reference (LegacyEventQueue) so bench/perf_smoke can
+// report the speedup of the rewrite. The shapes mirror real simulator
+// traffic:
+//  - ScheduleRun:   the original scatter of 1024 absolute times;
+//  - ShortDelay:    chained 1-8 cycle events (L1/L2 hits, issue
+//                   slots) — the calendar ring's sweet spot;
+//  - CancelHeavy:   schedule/cancel churn (speculative wakeups,
+//                   rescheduled timers) — exercises tombstones;
+//  - MixedHorizon:  short delays interleaved with far-future PCIe
+//                   completions and batch timers — ring + heap mix.
+// ---------------------------------------------------------------------
+
+template <typename Queue>
 void
-BM_EventQueueScheduleRun(benchmark::State &state)
+eventQueueScheduleRun(benchmark::State &state)
 {
     for (auto _ : state) {
-        EventQueue q;
+        Queue q;
         std::uint64_t sink = 0;
         for (int i = 0; i < 1024; ++i)
             q.scheduleAt(static_cast<Cycle>(i * 7 % 997),
@@ -35,7 +54,140 @@ BM_EventQueueScheduleRun(benchmark::State &state)
     }
     state.SetItemsProcessed(state.iterations() * 1024);
 }
+
+template <typename Queue>
+void
+eventQueueShortDelay(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Queue q;
+        std::uint64_t sink = 0;
+        // 8 chains of self-rescheduling short-delay events, 128 hops
+        // each: the shape of cache-hit latencies and coalescer ticks.
+        struct Chain {
+            Queue *q;
+            std::uint64_t *sink;
+            int hops = 0;
+            void
+            operator()()
+            {
+                ++*sink;
+                if (++hops < 128) {
+                    auto next = *this;
+                    q->scheduleAfter(1 + (hops & 7), std::move(next));
+                }
+            }
+        };
+        for (int c = 0; c < 8; ++c)
+            q.scheduleAt(static_cast<Cycle>(c), Chain{&q, &sink});
+        q.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 8 * 128);
+}
+
+template <typename Queue>
+void
+eventQueueCancelHeavy(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Queue q;
+        std::uint64_t sink = 0;
+        std::vector<std::uint64_t> ids; // EventId / LegacyEventId
+        ids.reserve(1024);
+        for (int i = 0; i < 1024; ++i)
+            ids.push_back(q.scheduleAt(
+                static_cast<Cycle>(1 + i * 13 % 4096),
+                [&sink] { ++sink; }));
+        // Cancel three quarters — speculative wakeups that were
+        // superseded — then drain the survivors.
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+            if (i % 4 != 0)
+                q.cancel(ids[i]);
+        }
+        q.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+
+template <typename Queue>
+void
+eventQueueMixedHorizon(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Queue q;
+        std::uint64_t sink = 0;
+        // 7/8 near-future (hit latencies), 1/8 far-future (PCIe
+        // completions, batch timers) — the simulator's real mix.
+        for (int i = 0; i < 1024; ++i) {
+            const Cycle when =
+                (i % 8 == 7)
+                    ? static_cast<Cycle>(5000 + i * 97 % 100000)
+                    : static_cast<Cycle>(i * 7 % 997);
+            q.scheduleAt(when, [&sink] { ++sink; });
+        }
+        q.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    eventQueueScheduleRun<EventQueue>(state);
+}
 BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_LegacyEventQueueScheduleRun(benchmark::State &state)
+{
+    eventQueueScheduleRun<LegacyEventQueue>(state);
+}
+BENCHMARK(BM_LegacyEventQueueScheduleRun);
+
+void
+BM_EventQueueShortDelay(benchmark::State &state)
+{
+    eventQueueShortDelay<EventQueue>(state);
+}
+BENCHMARK(BM_EventQueueShortDelay);
+
+void
+BM_LegacyEventQueueShortDelay(benchmark::State &state)
+{
+    eventQueueShortDelay<LegacyEventQueue>(state);
+}
+BENCHMARK(BM_LegacyEventQueueShortDelay);
+
+void
+BM_EventQueueCancelHeavy(benchmark::State &state)
+{
+    eventQueueCancelHeavy<EventQueue>(state);
+}
+BENCHMARK(BM_EventQueueCancelHeavy);
+
+void
+BM_LegacyEventQueueCancelHeavy(benchmark::State &state)
+{
+    eventQueueCancelHeavy<LegacyEventQueue>(state);
+}
+BENCHMARK(BM_LegacyEventQueueCancelHeavy);
+
+void
+BM_EventQueueMixedHorizon(benchmark::State &state)
+{
+    eventQueueMixedHorizon<EventQueue>(state);
+}
+BENCHMARK(BM_EventQueueMixedHorizon);
+
+void
+BM_LegacyEventQueueMixedHorizon(benchmark::State &state)
+{
+    eventQueueMixedHorizon<LegacyEventQueue>(state);
+}
+BENCHMARK(BM_LegacyEventQueueMixedHorizon);
 
 void
 BM_TlbLookup(benchmark::State &state)

@@ -1,6 +1,7 @@
 #include "src/core/system.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "src/sim/log.h"
@@ -71,12 +72,22 @@ GpuUvmSystem::run(Workload &workload, WorkloadScale scale)
     r.capacity_pages = manager_.capacityPages();
 
     const Cycle begin = events_.now();
+    const std::uint64_t events_begin = events_.executedEvents();
+    const auto wall_begin = std::chrono::steady_clock::now();
     KernelInfo kernel;
     while (workload.nextKernel(&kernel)) {
         gpu_->runKernel(kernel);
         ++r.kernels;
     }
     r.cycles = events_.now() - begin;
+    r.sim_events = events_.executedEvents() - events_begin;
+    r.host_wall_s = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - wall_begin)
+                        .count();
+    r.events_per_sec = r.host_wall_s > 0.0
+                           ? static_cast<double>(r.sim_events) /
+                                 r.host_wall_s
+                           : 0.0;
 
     r.instructions = gpu_->totalIssuedInstructions();
     r.batches = runtime_.batches();

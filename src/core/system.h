@@ -57,6 +57,14 @@ struct RunResult {
     // Interconnect utilization.
     std::uint64_t pcie_h2d_bytes = 0;
     std::uint64_t pcie_d2h_bytes = 0;
+
+    // Simulator self-measurement. sim_events is deterministic (kernel
+    // events dispatched for this run); host_wall_s / events_per_sec
+    // are host-side wall clock and MUST stay out of determinism
+    // comparisons and printed figure tables.
+    std::uint64_t sim_events = 0;
+    double host_wall_s = 0.0;
+    double events_per_sec = 0.0;
 };
 
 /** A fully wired simulated system executing one workload. */

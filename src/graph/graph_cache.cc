@@ -1,0 +1,112 @@
+#include "src/graph/graph_cache.h"
+
+namespace bauvm
+{
+
+GraphBuildCache &
+GraphBuildCache::instance()
+{
+    static GraphBuildCache cache;
+    return cache;
+}
+
+GraphBuildCache::Scope::Scope()
+{
+    instance().enterScope();
+}
+
+GraphBuildCache::Scope::~Scope()
+{
+    instance().exitScope();
+}
+
+void
+GraphBuildCache::enterScope()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++scope_depth_;
+}
+
+void
+GraphBuildCache::exitScope()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (--scope_depth_ == 0)
+        cache_.clear();
+}
+
+bool
+GraphBuildCache::enabled() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return scope_depth_ > 0;
+}
+
+std::uint64_t
+GraphBuildCache::builds() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return builds_;
+}
+
+std::uint64_t
+GraphBuildCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+void
+GraphBuildCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_.clear();
+}
+
+std::shared_ptr<const CsrGraph>
+GraphBuildCache::getOrBuild(const Key &key,
+                            const std::function<CsrGraph()> &build)
+{
+    std::promise<Shared> promise;
+    std::shared_future<Shared> future;
+    bool builder = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (scope_depth_ == 0) {
+            ++builds_;
+            builder = true; // uncached: build outside the lock below
+        } else {
+            auto it = cache_.find(key);
+            if (it == cache_.end()) {
+                future = promise.get_future().share();
+                cache_.emplace(key, future);
+                ++builds_;
+                builder = true;
+            } else {
+                future = it->second;
+                ++hits_;
+            }
+        }
+    }
+
+    if (!builder)
+        return future.get(); // rethrows if the in-flight build failed
+
+    if (!future.valid()) // uncached fast path (no Scope active)
+        return std::make_shared<const CsrGraph>(build());
+
+    try {
+        auto graph = std::make_shared<const CsrGraph>(build());
+        promise.set_value(graph);
+        return graph;
+    } catch (...) {
+        // Unpark current waiters with the error, but drop the entry so
+        // later requests retry instead of replaying a stale failure.
+        promise.set_exception(std::current_exception());
+        std::lock_guard<std::mutex> lock(mutex_);
+        cache_.erase(key); // only the builder inserts for this key
+        throw;
+    }
+}
+
+} // namespace bauvm

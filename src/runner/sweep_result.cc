@@ -56,6 +56,11 @@ writeRunResult(JsonWriter &w, const RunResult &r)
     w.field("context_switch_cycles", r.context_switch_cycles);
     w.field("pcie_h2d_bytes", r.pcie_h2d_bytes);
     w.field("pcie_d2h_bytes", r.pcie_d2h_bytes);
+    // Simulator self-measurement (host_wall_s / events_per_sec are
+    // nondeterministic; consumers must not diff them across runs).
+    w.field("sim_events", r.sim_events);
+    w.field("host_wall_s", r.host_wall_s);
+    w.field("events_per_sec", r.events_per_sec);
     w.endObject();
 }
 

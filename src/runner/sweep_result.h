@@ -18,6 +18,10 @@
  *     }, ...
  *   ]
  * }
+ * RunResult additionally carries the simulator's own throughput
+ * ("sim_events", "host_wall_s", "events_per_sec"); the latter two are
+ * host wall-clock derived and therefore nondeterministic — additive
+ * within schema /1, excluded from determinism comparisons.
  * Cells appear in deterministic matrix order (variant-major, then
  * workload, then policy), never in completion order.
  */

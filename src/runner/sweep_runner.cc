@@ -6,6 +6,7 @@
 #include <exception>
 #include <mutex>
 
+#include "src/graph/graph_cache.h"
 #include "src/runner/thread_pool.h"
 #include "src/sim/log.h"
 
@@ -161,6 +162,13 @@ SweepRunner::run()
     std::mutex progress_mutex;
     std::size_t done = 0;
 
+    // Share one immutable graph build per (workload, seed) across all
+    // policy/variant cells for the duration of this sweep.
+    GraphBuildCache &graph_cache = GraphBuildCache::instance();
+    const std::uint64_t builds_before = graph_cache.builds();
+    const std::uint64_t hits_before = graph_cache.hits();
+    GraphBuildCache::Scope graph_scope;
+
     {
         ThreadPool pool(workers);
         for (const SweepJob &job : jobs) {
@@ -185,6 +193,12 @@ SweepRunner::run()
                      "(%zu failed)\n",
                      result.cells.size(), workers, result.elapsed_s,
                      result.failedCells());
+        std::fprintf(
+            stderr, "  graph cache: %llu build(s), %llu reuse(s)\n",
+            static_cast<unsigned long long>(graph_cache.builds() -
+                                            builds_before),
+            static_cast<unsigned long long>(graph_cache.hits() -
+                                            hits_before));
     }
     return result;
 }

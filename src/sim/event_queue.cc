@@ -1,22 +1,78 @@
 #include "src/sim/event_queue.h"
 
+#include <algorithm>
+#include <bit>
+
 #include "src/sim/log.h"
 
 namespace bauvm
 {
 
+namespace
+{
+
+/** Heap tombstones tolerated before a compaction pass (satellite fix
+ *  for the cancel() tombstone leak): compact once at least this many
+ *  stale entries exist *and* they outnumber the live ones. */
+constexpr std::size_t kCompactMinStale = 64;
+
+/** Min-heap order: std::*_heap with this puts the earliest event at
+ *  the front. */
+struct LaterFirst {
+    template <typename E>
+    bool
+    operator()(const E &a, const E &b) const
+    {
+        return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+};
+
+} // namespace
+
+void
+EventQueue::addSlab()
+{
+    const auto base = static_cast<std::uint32_t>(slabs_.size() *
+                                                 kSlabRecords);
+    slabs_.push_back(std::make_unique<Record[]>(kSlabRecords));
+    Record *slab = slabs_.back().get();
+    // Chain in reverse so slots hand out in ascending order.
+    for (std::size_t i = kSlabRecords; i-- > 0;) {
+        slab[i].next = free_head_;
+        free_head_ = base + static_cast<std::uint32_t>(i);
+    }
+}
+
 EventId
-EventQueue::scheduleAt(Cycle when, Callback cb)
+EventQueue::enqueue(Cycle when, std::uint32_t slot)
 {
     if (when < now_) {
         panic("EventQueue: scheduling in the past (when=%llu now=%llu)",
               static_cast<unsigned long long>(when),
               static_cast<unsigned long long>(now_));
     }
-    EventId id = next_seq_;
-    heap_.push(Entry{when, next_seq_, id});
-    ++next_seq_;
-    callbacks_.emplace(id, std::move(cb));
+    Record &r = record(slot);
+    r.seq = next_seq_++;
+    const EventId id = (static_cast<EventId>(r.gen) << 32) | slot;
+    if (when - now_ < kNearWindow) {
+        // A bucket only ever chains one distinct cycle: a colliding
+        // cycle would be >= now_ + kNearWindow and lands in the heap.
+        const std::size_t b = static_cast<std::size_t>(when) & kRingMask;
+        Bucket &bk = ring_[b];
+        const std::uint64_t bit = 1ULL << (b % 64);
+        r.next = kNil; // ring residency marker + chain terminator
+        if (ring_bits_[b / 64] & bit) {
+            record(bk.tail).next = slot;
+        } else {
+            ring_bits_[b / 64] |= bit;
+            bk.head = slot;
+        }
+        bk.tail = slot;
+        ++ring_count_;
+    } else {
+        r.next = kHeapResident;
+        heapPush(HeapEntry{when, r.seq, slot, r.gen});
+    }
     ++pending_;
     return id;
 }
@@ -24,27 +80,176 @@ EventQueue::scheduleAt(Cycle when, Callback cb)
 bool
 EventQueue::cancel(EventId id)
 {
-    auto it = callbacks_.find(id);
-    if (it == callbacks_.end())
+    const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+    const auto gen = static_cast<std::uint32_t>(id >> 32);
+    if (slot >= slabs_.size() * kSlabRecords)
         return false;
-    callbacks_.erase(it);
+    Record &r = record(slot);
+    if (r.gen != gen)
+        return false; // already ran, cancelled, or slot reused
     --pending_;
+    if (r.next == kHeapResident) {
+        // The heap entry carries its own gen snapshot, so the slot can
+        // recycle immediately; the entry tombstones until compaction.
+        r.cb.reset();
+        ++stale_heap_;
+        freeSlot(slot);
+        maybeCompactHeap();
+    } else {
+        // Ring records ARE the chain links: the slot must stay parked
+        // until its bucket drains. Empty cb marks the tombstone.
+        ++r.gen;
+        r.cb.reset();
+        ++stale_ring_;
+    }
     return true;
 }
 
-bool
-EventQueue::popNext(Entry &out)
+void
+EventQueue::heapPush(HeapEntry e)
 {
-    while (!heap_.empty()) {
-        Entry e = heap_.top();
-        heap_.pop();
-        if (callbacks_.find(e.id) != callbacks_.end()) {
-            out = e;
-            return true;
-        }
-        // Cancelled event: skip the stale heap entry.
+    heap_.push_back(e);
+    std::push_heap(heap_.begin(), heap_.end(), LaterFirst{});
+}
+
+void
+EventQueue::heapPop()
+{
+    std::pop_heap(heap_.begin(), heap_.end(), LaterFirst{});
+    heap_.pop_back();
+}
+
+void
+EventQueue::maybeCompactHeap()
+{
+    if (stale_heap_ < kCompactMinStale ||
+        stale_heap_ * 2 < heap_.size())
+        return;
+    heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                               [this](const HeapEntry &e) {
+                                   return record(e.slot).gen != e.gen;
+                               }),
+                heap_.end());
+    std::make_heap(heap_.begin(), heap_.end(), LaterFirst{});
+    stale_heap_ = 0;
+    ++compactions_;
+}
+
+bool
+EventQueue::findRingCandidate(std::size_t &bucket, Cycle &when) const
+{
+    if (ring_count_ == 0)
+        return false;
+    const std::size_t s = static_cast<std::size_t>(now_) & kRingMask;
+    const std::size_t start_word = s / 64;
+    const unsigned bit = s % 64;
+    auto found = [&](std::size_t word_idx, std::uint64_t word) {
+        const std::size_t b =
+            word_idx * 64 +
+            static_cast<std::size_t>(std::countr_zero(word));
+        bucket = b;
+        when = now_ + static_cast<Cycle>((b - s) & kRingMask);
+        return true;
+    };
+    // Pending events all lie in [now_, now_ + kNearWindow), so one
+    // circular pass starting at bucket `s` visits them in cycle order.
+    std::uint64_t w = ring_bits_[start_word] &
+                      (bit == 0 ? ~0ULL : ~0ULL << bit);
+    if (w)
+        return found(start_word, w);
+    for (std::size_t i = start_word + 1; i < ring_bits_.size(); ++i) {
+        if (ring_bits_[i])
+            return found(i, ring_bits_[i]);
     }
+    for (std::size_t i = 0; i < start_word; ++i) {
+        if (ring_bits_[i])
+            return found(i, ring_bits_[i]);
+    }
+    w = ring_bits_[start_word] & (bit == 0 ? 0 : ~(~0ULL << bit));
+    if (w)
+        return found(start_word, w);
     return false;
+}
+
+bool
+EventQueue::findNext(Next &out)
+{
+    for (;;) {
+        std::size_t rb = 0;
+        Cycle rwhen = 0;
+        const bool has_ring = findRingCandidate(rb, rwhen);
+        const bool has_heap = !heap_.empty();
+        if (!has_ring && !has_heap)
+            return false;
+
+        if (has_ring) {
+            const std::uint32_t slot = ring_[rb].head;
+            Record &r = record(slot);
+            if (!r.cb) {
+                // Tombstone of a cancelled event: every entry becomes
+                // the global front before now_ passes it, so stale
+                // slots are reclaimed here, never leaked.
+                removeFromBucket(rb);
+                freeSlot(slot);
+                --stale_ring_;
+                continue;
+            }
+            // Same-cycle events may straddle both structures (a
+            // far-future event becomes near-future as now_ advances);
+            // seq keeps the global insertion-order tie-break exact.
+            if (!has_heap || rwhen < heap_.front().when ||
+                (rwhen == heap_.front().when &&
+                 r.seq < heap_.front().seq)) {
+                out = Next{rwhen, r.seq, slot, true, rb};
+                return true;
+            }
+        }
+        const HeapEntry he = heap_.front();
+        if (record(he.slot).gen != he.gen) {
+            heapPop();
+            --stale_heap_;
+            continue;
+        }
+        out = Next{he.when, he.seq, he.slot, false, 0};
+        return true;
+    }
+}
+
+void
+EventQueue::removeFromBucket(std::size_t b)
+{
+    Bucket &bk = ring_[b];
+    if (bk.head == bk.tail)
+        ring_bits_[b / 64] &= ~(1ULL << (b % 64));
+    else
+        bk.head = record(bk.head).next;
+    --ring_count_;
+}
+
+void
+EventQueue::removeNext(const Next &n)
+{
+    if (n.from_ring)
+        removeFromBucket(n.bucket);
+    else
+        heapPop();
+}
+
+void
+EventQueue::dispatch(const Next &n)
+{
+    Record &r = record(n.slot);
+    ++r.gen; // retire the id now: self-cancel inside the callback
+             // must see the event as already run
+    --pending_;
+    now_ = n.when;
+    r.cb(); // invoked in place: slab storage is stable even if the
+            // callback schedules more events (slabs append, records
+            // never move), and this slot is not on the free list yet
+    r.cb.reset();
+    r.next = free_head_; // recycle without a second gen bump
+    free_head_ = n.slot;
+    ++executed_;
 }
 
 std::uint64_t
@@ -52,20 +257,12 @@ EventQueue::run(Cycle until)
 {
     std::uint64_t ran = 0;
     stop_requested_ = false;
-    Entry e;
-    while (!stop_requested_ && popNext(e)) {
-        if (e.when > until) {
-            // Put the event back; it belongs to the future.
-            heap_.push(e);
-            break;
-        }
-        auto it = callbacks_.find(e.id);
-        Callback cb = std::move(it->second);
-        callbacks_.erase(it);
-        --pending_;
-        now_ = e.when;
-        cb();
-        ++executed_;
+    Next n;
+    while (!stop_requested_ && findNext(n)) {
+        if (n.when > until)
+            break; // left in place; no push-back needed
+        removeNext(n);
+        dispatch(n);
         ++ran;
     }
     return ran;
@@ -74,16 +271,11 @@ EventQueue::run(Cycle until)
 bool
 EventQueue::step()
 {
-    Entry e;
-    if (!popNext(e))
+    Next n;
+    if (!findNext(n))
         return false;
-    auto it = callbacks_.find(e.id);
-    Callback cb = std::move(it->second);
-    callbacks_.erase(it);
-    --pending_;
-    now_ = e.when;
-    cb();
-    ++executed_;
+    removeNext(n);
+    dispatch(n);
     return true;
 }
 

@@ -2,27 +2,61 @@
  * @file
  * Discrete-event simulation kernel.
  *
- * Every timing component in the simulator (SMs, caches, the UVM runtime,
- * the PCIe link, ...) schedules closures on a single global-ordered event
- * queue. Events scheduled for the same cycle execute in insertion order,
- * which makes simulations bit-reproducible for a fixed seed.
+ * Every timing component in the simulator (SMs, caches, the UVM
+ * runtime, the PCIe link, ...) schedules closures on a single
+ * global-ordered event queue. Events scheduled for the same cycle
+ * execute in insertion order, which makes simulations bit-reproducible
+ * for a fixed seed.
+ *
+ * Fast-path design (see DESIGN.md, "The event kernel"):
+ *  - **Slab-allocated records.** Event callbacks live in fixed-size
+ *    records carved from slabs and recycled through a free list; the
+ *    callable is constructed directly into the record's small-buffer
+ *    InlineFunction and invoked in place, so the common path performs
+ *    zero heap allocations and zero callable moves per event.
+ *  - **Generation-counted cancellation.** An EventId encodes
+ *    (slot, generation); cancel() just compares generations — no map
+ *    lookup, no erase. Cancelled entries become tombstones that are
+ *    skipped (and counted via staleEntries()) when they reach the
+ *    front, and the far-future heap is compacted once tombstones
+ *    dominate it.
+ *  - **Calendar ring for the near future.** Events within kNearWindow
+ *    cycles of now() are chained into per-cycle intrusive FIFO buckets
+ *    (the overwhelming majority: L1/L2 hit latencies, coalescer ticks,
+ *    issue slots); only far-future events (PCIe completions, batch
+ *    timers) reach the binary heap. The chains run through the records
+ *    themselves — a bucket is just (head, tail) — and a bucket-occupancy
+ *    bitmap is the sole source of truth for emptiness, so constructing
+ *    a queue touches 128 bytes, not the whole ring.
+ *
+ * The rewrite preserves the ordering contract bit-for-bit: the next
+ * event is always the global minimum of (when, seq) across the ring
+ * and the heap, where seq is the insertion sequence number.
  */
 
 #ifndef BAUVM_SIM_EVENT_QUEUE_H_
 #define BAUVM_SIM_EVENT_QUEUE_H_
 
+#include <array>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
+#include <memory>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "src/sim/inline_function.h"
 #include "src/sim/types.h"
 
 namespace bauvm
 {
 
-/** Opaque handle used to cancel a scheduled event. */
+/**
+ * Opaque handle used to cancel a scheduled event.
+ *
+ * Encodes (generation << 32 | slot); a stale handle (the event already
+ * ran or was cancelled, even if the slot has been reused since) fails
+ * the generation check and cancel() returns false.
+ */
 using EventId = std::uint64_t;
 
 /**
@@ -35,7 +69,16 @@ using EventId = std::uint64_t;
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    /** Inline capture capacity of a scheduled callback, in bytes. */
+    static constexpr std::size_t kInlineCallbackBytes = 40;
+
+    /**
+     * Near-future window covered by the calendar ring, in cycles.
+     * Delays >= this spill to the binary heap. Power of two.
+     */
+    static constexpr std::size_t kNearWindow = 1024;
+
+    using Callback = InlineFunction<kInlineCallbackBytes>;
 
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
@@ -45,21 +88,46 @@ class EventQueue
     Cycle now() const { return now_; }
 
     /**
-     * Schedules @p cb to run at absolute cycle @p when.
+     * Schedules @p f to run at absolute cycle @p when. The callable is
+     * constructed directly into the event record — no intermediate
+     * Callback object, no move.
      *
      * @pre when >= now(); scheduling in the past is a simulator bug.
      * @return an id that can be passed to cancel().
      */
-    EventId scheduleAt(Cycle when, Callback cb);
-
-    /** Schedules @p cb to run @p delay cycles from now. */
-    EventId scheduleAfter(Cycle delay, Callback cb)
+    template <typename F,
+              typename = std::enable_if_t<!std::is_same_v<
+                  std::decay_t<F>, Callback>>>
+    EventId
+    scheduleAt(Cycle when, F &&f)
     {
-        return scheduleAt(now_ + delay, std::move(cb));
+        const std::uint32_t slot = allocSlot();
+        record(slot).cb.emplace(std::forward<F>(f));
+        return enqueue(when, slot);
+    }
+
+    /** Schedules an already-built Callback (rare; prefer the above). */
+    EventId
+    scheduleAt(Cycle when, Callback cb)
+    {
+        const std::uint32_t slot = allocSlot();
+        record(slot).cb = std::move(cb);
+        return enqueue(when, slot);
+    }
+
+    /** Schedules @p f to run @p delay cycles from now. */
+    template <typename F>
+    EventId
+    scheduleAfter(Cycle delay, F &&f)
+    {
+        return scheduleAt(now_ + delay, std::forward<F>(f));
     }
 
     /**
-     * Cancels a previously scheduled event.
+     * Cancels a previously scheduled event. O(1): the generation check
+     * invalidates the id immediately; the ring/heap entry becomes a
+     * tombstone reclaimed when it reaches the front (or, for the heap,
+     * by compaction).
      *
      * @retval true the event was pending and has been cancelled.
      * @retval false the event already ran or was already cancelled.
@@ -91,28 +159,139 @@ class EventQueue
     /** Total events executed over the queue's lifetime. */
     std::uint64_t executedEvents() const { return executed_; }
 
+    /**
+     * Cancelled-event tombstones currently parked in the ring or heap.
+     * Heap tombstones are reclaimed eagerly by compaction once they
+     * outnumber live heap entries; ring tombstones are reclaimed as
+     * they reach the front of their bucket.
+     */
+    std::size_t staleEntries() const
+    {
+        return stale_ring_ + stale_heap_;
+    }
+
+    /** Heap-compaction passes performed (observability for tests). */
+    std::uint64_t compactions() const { return compactions_; }
+
   private:
-    struct Entry {
+    static constexpr std::uint32_t kNil = 0xffffffffu;
+    /** Record::next value marking a record parked in the heap. */
+    static constexpr std::uint32_t kHeapResident = 0xfffffffeu;
+    static constexpr std::size_t kSlabRecords = 256;
+    static constexpr std::size_t kRingMask = kNearWindow - 1;
+    static_assert((kNearWindow & kRingMask) == 0,
+                  "kNearWindow must be a power of two");
+
+    /**
+     * One slab-resident event; the callback's permanent home. `next`
+     * is the free-list link when the slot is free, the intrusive
+     * bucket chain link when ring-resident, and kHeapResident when the
+     * event is parked in the far-future heap (cancel() uses that to
+     * pick the right tombstone policy).
+     */
+    struct Record {
+        std::uint32_t gen = 0; //!< bumped whenever an id is retired
+        std::uint32_t next = kNil;
+        std::uint64_t seq = 0; //!< global insertion order (tie-break)
+        Callback cb;           //!< empty == ring tombstone
+    };
+    static_assert(sizeof(Record) <= 64,
+                  "event record must stay within one cache line");
+
+    /** Far-future heap entry, ordered by (when, seq). */
+    struct HeapEntry {
         Cycle when;
-        std::uint64_t seq; //!< tie-breaker: insertion order
-        EventId id;
-        bool operator>(const Entry &o) const
-        {
-            return when != o.when ? when > o.when : seq > o.seq;
-        }
+        std::uint64_t seq;
+        std::uint32_t slot;
+        std::uint32_t gen;
     };
 
-    bool popNext(Entry &out);
+    /**
+     * Intrusive FIFO chain for one cycle. head/tail are read only when
+     * the bucket's occupancy bit is set, so the ring array needs no
+     * initialization (constructing a queue stays O(bitmap)).
+     */
+    struct Bucket {
+        std::uint32_t head;
+        std::uint32_t tail;
+    };
+
+    /** The next runnable (live) event, located but not yet removed. */
+    struct Next {
+        Cycle when;
+        std::uint64_t seq;
+        std::uint32_t slot;
+        bool from_ring;
+        std::size_t bucket; //!< valid when from_ring
+    };
+
+    Record &record(std::uint32_t slot)
+    {
+        return slabs_[slot / kSlabRecords][slot % kSlabRecords];
+    }
+
+    std::uint32_t
+    allocSlot()
+    {
+        if (free_head_ == kNil)
+            addSlab();
+        const std::uint32_t slot = free_head_;
+        free_head_ = record(slot).next;
+        return slot;
+    }
+
+    void
+    freeSlot(std::uint32_t slot)
+    {
+        Record &r = record(slot);
+        ++r.gen; // invalidates every outstanding EventId for this slot
+        r.next = free_head_;
+        free_head_ = slot;
+    }
+
+    /** Grows the slab arena by one slab (slow path of allocSlot). */
+    void addSlab();
+
+    /** Files slot (callback already in place) under cycle @p when. */
+    EventId enqueue(Cycle when, std::uint32_t slot);
+
+    /** Finds the lowest-(when,seq) live event; discards tombstones. */
+    bool findNext(Next &out);
+    /** Removes @p n from its structure (must be the current front). */
+    void removeNext(const Next &n);
+    /** Pops the front of bucket @p b (chain advance / bit clear). */
+    void removeFromBucket(std::size_t b);
+    /** Executes the event @p n (after removal). */
+    void dispatch(const Next &n);
+
+    /** Next non-empty ring bucket at/after now_, or false if none. */
+    bool findRingCandidate(std::size_t &bucket, Cycle &when) const;
+    void maybeCompactHeap();
+    void heapPush(HeapEntry e);
+    void heapPop();
 
     Cycle now_ = 0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t executed_ = 0;
     std::size_t pending_ = 0;
     bool stop_requested_ = false;
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-    // Callbacks keyed by id; erased on execution/cancellation. Kept apart
-    // from the heap so cancel() is O(1).
-    std::unordered_map<EventId, Callback> callbacks_;
+
+    // Record slabs + free list.
+    std::vector<std::unique_ptr<Record[]>> slabs_;
+    std::uint32_t free_head_ = kNil;
+
+    // Calendar ring: bucket b chains events for the unique pending
+    // cycle c with (c & kRingMask) == b; the occupancy bitmap is the
+    // sole source of truth for emptiness and accelerates scans.
+    std::array<Bucket, kNearWindow> ring_;
+    std::array<std::uint64_t, kNearWindow / 64> ring_bits_{};
+    std::size_t ring_count_ = 0; //!< chained entries incl. tombstones
+    std::size_t stale_ring_ = 0;
+
+    // Far-future binary heap (min by (when, seq)).
+    std::vector<HeapEntry> heap_;
+    std::size_t stale_heap_ = 0;
+    std::uint64_t compactions_ = 0;
 };
 
 } // namespace bauvm

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * InlineFunction: a move-only, small-buffer-optimized replacement for
+ * std::function<void()> on the simulator's hot path.
+ *
+ * The discrete-event kernel schedules millions of short-lived closures
+ * per simulated second; std::function heap-allocates whenever a capture
+ * exceeds its (implementation-defined) small-object buffer and always
+ * drags in RTTI/copyability machinery the kernel never uses. This type
+ * stores any nothrow-move-constructible callable whose size fits the
+ * fixed inline capacity directly in the event record; larger callables
+ * fall back to a single heap allocation and bump a global counter so
+ * tests can assert the fast path stays allocation-free.
+ */
+
+#ifndef BAUVM_SIM_INLINE_FUNCTION_H_
+#define BAUVM_SIM_INLINE_FUNCTION_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace bauvm
+{
+
+namespace detail
+{
+/** Counts callables that spilled to the heap (all queues, all threads). */
+inline std::atomic<std::uint64_t> inline_fn_heap_fallbacks{0};
+} // namespace detail
+
+/**
+ * A void() callable with @p InlineBytes of inline storage.
+ *
+ * Invariants:
+ *  - move-only (events execute exactly once; copies are never needed);
+ *  - callables with sizeof <= InlineBytes and a nothrow move
+ *    constructor are stored inline: constructing, moving and invoking
+ *    them performs zero heap allocations;
+ *  - anything larger lives behind one heap allocation (counted via
+ *    heapFallbacks(), asserted rare in tests).
+ */
+template <std::size_t InlineBytes>
+class InlineFunction
+{
+    static_assert(InlineBytes >= sizeof(void *),
+                  "inline buffer must hold at least a pointer");
+    static_assert(InlineBytes % alignof(void *) == 0,
+                  "inline buffer must stay pointer-aligned");
+
+  public:
+    InlineFunction() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<!std::is_same_v<
+                  std::decay_t<F>, InlineFunction>>>
+    InlineFunction(F &&f) // NOLINT: implicit like std::function
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(std::is_invocable_r_v<void, Fn &>,
+                      "callable must be invocable as void()");
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(f));
+            ops_ = &kInlineOps<Fn>;
+        } else {
+            *reinterpret_cast<Fn **>(buf_) =
+                new Fn(std::forward<F>(f));
+            ops_ = &kHeapOps<Fn>;
+            detail::inline_fn_heap_fallbacks.fetch_add(
+                1, std::memory_order_relaxed);
+        }
+    }
+
+    InlineFunction(InlineFunction &&o) noexcept
+    {
+        moveFrom(o);
+    }
+
+    InlineFunction &
+    operator=(InlineFunction &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            moveFrom(o);
+        }
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    ~InlineFunction() { reset(); }
+
+    /** Destroys the stored callable, leaving the function empty. */
+    void
+    reset()
+    {
+        if (ops_) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+    /**
+     * Constructs @p f directly in the inline buffer (or its heap cell),
+     * avoiding the intermediate InlineFunction a converting
+     * constructor + move-assign would create. The event kernel's
+     * schedule path uses this; it is the reason scheduling performs no
+     * callable moves at all.
+     */
+    template <typename F>
+    void
+    emplace(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(!std::is_same_v<Fn, InlineFunction>,
+                      "emplace takes a callable, not an InlineFunction");
+        static_assert(std::is_invocable_r_v<void, Fn &>,
+                      "callable must be invocable as void()");
+        reset();
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(f));
+            ops_ = &kInlineOps<Fn>;
+        } else {
+            *reinterpret_cast<Fn **>(buf_) = new Fn(std::forward<F>(f));
+            ops_ = &kHeapOps<Fn>;
+            detail::inline_fn_heap_fallbacks.fetch_add(
+                1, std::memory_order_relaxed);
+        }
+    }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    void
+    operator()()
+    {
+        ops_->invoke(buf_);
+    }
+
+    /** True if @p Fn will be stored inline (compile-time). */
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= InlineBytes &&
+               alignof(Fn) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+    /** Process-wide count of callables that spilled to the heap. */
+    static std::uint64_t
+    heapFallbacks()
+    {
+        return detail::inline_fn_heap_fallbacks.load(
+            std::memory_order_relaxed);
+    }
+
+  private:
+    struct Ops {
+        void (*invoke)(void *);
+        /** Move-constructs dst from src, then destroys src. */
+        void (*relocate)(void *dst, void *src);
+        void (*destroy)(void *);
+    };
+
+    template <typename Fn>
+    static constexpr Ops kInlineOps = {
+        [](void *p) { (*static_cast<Fn *>(p))(); },
+        [](void *dst, void *src) {
+            auto *s = static_cast<Fn *>(src);
+            ::new (dst) Fn(std::move(*s));
+            s->~Fn();
+        },
+        [](void *p) { static_cast<Fn *>(p)->~Fn(); },
+    };
+
+    template <typename Fn>
+    static constexpr Ops kHeapOps = {
+        [](void *p) { (**static_cast<Fn **>(p))(); },
+        [](void *dst, void *src) {
+            *static_cast<Fn **>(dst) = *static_cast<Fn **>(src);
+        },
+        [](void *p) { delete *static_cast<Fn **>(p); },
+    };
+
+    void
+    moveFrom(InlineFunction &o) noexcept
+    {
+        ops_ = o.ops_;
+        if (ops_)
+            ops_->relocate(buf_, o.buf_);
+        o.ops_ = nullptr;
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[InlineBytes];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace bauvm
+
+#endif // BAUVM_SIM_INLINE_FUNCTION_H_

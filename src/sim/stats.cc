@@ -18,6 +18,11 @@ void
 Histogram::add(double v)
 {
     summary_.add(v);
+    if (!std::isfinite(v)) {
+        // Tracked by the summary's nonfinite count; bucketing a NaN
+        // would be UB (size_t cast) and an inf has no bucket.
+        return;
+    }
     if (v < 0.0) {
         // Negative samples indicate a bug in the caller.
         panic("Histogram: negative sample %f", v);

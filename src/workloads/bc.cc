@@ -30,7 +30,7 @@ class BcWorkload : public GraphWorkloadBase
     build(WorkloadScale scale, std::uint64_t seed) override
     {
         buildGraph(scale, seed, false);
-        const VertexId v = graph_.numVertices();
+        const VertexId v = graph_->numVertices();
         d_level_ = DeviceArray<std::uint32_t>(alloc_, v, "bc_level");
         d_sigma_ = DeviceArray<double>(alloc_, v, "bc_sigma");
         d_delta_ = DeviceArray<double>(alloc_, v, "bc_delta");
@@ -88,8 +88,8 @@ class BcWorkload : public GraphWorkloadBase
     void
     validate() const override
     {
-        const auto ref = reference::bcFromSource(graph_, source_);
-        for (VertexId v = 0; v < graph_.numVertices(); ++v) {
+        const auto ref = reference::bcFromSource(*graph_, source_);
+        for (VertexId v = 0; v < graph_->numVertices(); ++v) {
             if (v == source_)
                 continue; // Brandes excludes the source itself
             const double got = d_delta_[v];
@@ -108,7 +108,7 @@ class BcWorkload : public GraphWorkloadBase
     {
         const std::uint32_t wpb = ctx.threads_per_block / ctx.warp_size;
         const VertexId v = ctx.block_id * wpb + ctx.warp_in_block;
-        if (v >= self->graph_.numVertices())
+        if (v >= self->graph_->numVertices())
             co_return;
 
         co_yield loadOf(self->d_level_.addr(v));
@@ -119,8 +119,8 @@ class BcWorkload : public GraphWorkloadBase
                                self->d_sigma_.addr(v));
         const double sigma_v = self->d_sigma_[v];
 
-        const std::uint64_t begin = self->graph_.rowOffsets()[v];
-        const std::uint64_t end = self->graph_.rowOffsets()[v + 1];
+        const std::uint64_t begin = self->graph_->rowOffsets()[v];
+        const std::uint64_t end = self->graph_->rowOffsets()[v + 1];
         for (std::uint64_t e = begin; e < end; e += ctx.warp_size) {
             const std::uint64_t chunk =
                 std::min<std::uint64_t>(ctx.warp_size, end - e);
@@ -159,7 +159,7 @@ class BcWorkload : public GraphWorkloadBase
     {
         const std::uint32_t wpb = ctx.threads_per_block / ctx.warp_size;
         const VertexId v = ctx.block_id * wpb + ctx.warp_in_block;
-        if (v >= self->graph_.numVertices())
+        if (v >= self->graph_->numVertices())
             co_return;
 
         co_yield loadOf(self->d_level_.addr(v));
@@ -171,8 +171,8 @@ class BcWorkload : public GraphWorkloadBase
         const double sigma_v = self->d_sigma_[v];
         double delta_v = 0.0;
 
-        const std::uint64_t begin = self->graph_.rowOffsets()[v];
-        const std::uint64_t end = self->graph_.rowOffsets()[v + 1];
+        const std::uint64_t begin = self->graph_->rowOffsets()[v];
+        const std::uint64_t end = self->graph_->rowOffsets()[v + 1];
         for (std::uint64_t e = begin; e < end; e += ctx.warp_size) {
             const std::uint64_t chunk =
                 std::min<std::uint64_t>(ctx.warp_size, end - e);

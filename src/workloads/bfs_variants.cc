@@ -45,7 +45,7 @@ class BfsWorkload : public GraphWorkloadBase
     build(WorkloadScale scale, std::uint64_t seed) override
     {
         buildGraph(scale, seed, false);
-        const VertexId v = graph_.numVertices();
+        const VertexId v = graph_->numVertices();
         d_level_ = DeviceArray<std::uint32_t>(alloc_, v, "bfs_level");
         d_level_.fill(kInf);
         d_level_[source_] = 0;
@@ -60,12 +60,12 @@ class BfsWorkload : public GraphWorkloadBase
             d_frontier_[0] = source_;
             frontier_size_ = 1;
         } else if (variant_ == "DWC") {
-            const std::uint64_t e = graph_.numEdges();
+            const std::uint64_t e = graph_->numEdges();
             d_esrc_ = DeviceArray<std::uint64_t>(alloc_, e, "bfs_edge_src");
             d_edst_ = DeviceArray<std::uint64_t>(alloc_, e, "bfs_edge_dst");
             std::uint64_t idx = 0;
             for (VertexId s = 0; s < v; ++s) {
-                for (VertexId d : graph_.neighbors(s)) {
+                for (VertexId d : graph_->neighbors(s)) {
                     d_esrc_[idx] = s;
                     d_edst_[idx] = d;
                     ++idx;
@@ -117,7 +117,7 @@ class BfsWorkload : public GraphWorkloadBase
             };
         } else if (variant_ == "DWC") {
             const auto edges =
-                static_cast<std::uint32_t>(graph_.numEdges());
+                static_cast<std::uint32_t>(graph_->numEdges());
             out->num_blocks = (edges + kGraphTpb - 1) / kGraphTpb;
             out->make_program = [self, level](WarpCtx ctx) {
                 return edgeCentricWarp(ctx, self, level);
@@ -132,8 +132,8 @@ class BfsWorkload : public GraphWorkloadBase
     void
     validate() const override
     {
-        const auto ref = reference::bfsLevels(graph_, source_);
-        for (VertexId v = 0; v < graph_.numVertices(); ++v) {
+        const auto ref = reference::bfsLevels(*graph_, source_);
+        for (VertexId v = 0; v < graph_->numVertices(); ++v) {
             const std::uint32_t got = d_level_[v];
             const std::uint32_t want =
                 ref[v] == reference::kInfinity ? kInf : ref[v];
@@ -152,7 +152,7 @@ class BfsWorkload : public GraphWorkloadBase
     topoThreadWarp(WarpCtx ctx, BfsWorkload *self, std::uint32_t level,
                    bool atomic)
     {
-        const VertexId v_count = self->graph_.numVertices();
+        const VertexId v_count = self->graph_->numVertices();
         std::vector<VertexId> owned;
         std::vector<VAddr> a;
         for (std::uint32_t lane = 0; lane < ctx.laneCount(); ++lane) {
@@ -183,8 +183,8 @@ class BfsWorkload : public GraphWorkloadBase
 
         std::vector<std::uint64_t> pos, end;
         for (VertexId v : active) {
-            pos.push_back(self->graph_.rowOffsets()[v]);
-            end.push_back(self->graph_.rowOffsets()[v + 1]);
+            pos.push_back(self->graph_->rowOffsets()[v]);
+            end.push_back(self->graph_->rowOffsets()[v + 1]);
         }
 
         while (true) {
@@ -237,7 +237,7 @@ class BfsWorkload : public GraphWorkloadBase
             ctx.threads_per_block / ctx.warp_size;
         const VertexId v =
             ctx.block_id * warps_per_block + ctx.warp_in_block;
-        if (v >= self->graph_.numVertices())
+        if (v >= self->graph_->numVertices())
             co_return;
 
         co_yield loadOf(self->d_level_.addr(v));
@@ -245,8 +245,8 @@ class BfsWorkload : public GraphWorkloadBase
             co_return;
         co_yield loadOf(self->d_row_.addr(v), self->d_row_.addr(v + 1));
 
-        const std::uint64_t begin = self->graph_.rowOffsets()[v];
-        const std::uint64_t end = self->graph_.rowOffsets()[v + 1];
+        const std::uint64_t begin = self->graph_->rowOffsets()[v];
+        const std::uint64_t end = self->graph_->rowOffsets()[v + 1];
         for (std::uint64_t e = begin; e < end; e += ctx.warp_size) {
             const std::uint64_t chunk =
                 std::min<std::uint64_t>(ctx.warp_size, end - e);
@@ -308,8 +308,8 @@ class BfsWorkload : public GraphWorkloadBase
 
         std::vector<std::uint64_t> pos, end;
         for (VertexId v : active) {
-            pos.push_back(self->graph_.rowOffsets()[v]);
-            end.push_back(self->graph_.rowOffsets()[v + 1]);
+            pos.push_back(self->graph_->rowOffsets()[v]);
+            end.push_back(self->graph_->rowOffsets()[v + 1]);
         }
 
         while (true) {
@@ -355,7 +355,7 @@ class BfsWorkload : public GraphWorkloadBase
     static WarpProgram
     edgeCentricWarp(WarpCtx ctx, BfsWorkload *self, std::uint32_t level)
     {
-        const std::uint64_t e_count = self->graph_.numEdges();
+        const std::uint64_t e_count = self->graph_->numEdges();
         std::vector<std::uint64_t> edges;
         std::vector<VAddr> a;
         for (std::uint32_t lane = 0; lane < ctx.laneCount(); ++lane) {

@@ -43,7 +43,7 @@ class GcWorkload : public GraphWorkloadBase
     build(WorkloadScale scale, std::uint64_t seed) override
     {
         buildGraph(scale, seed, false, /*edge_factor=*/0.5);
-        const VertexId v = graph_.numVertices();
+        const VertexId v = graph_->numVertices();
         d_color_ = DeviceArray<std::uint32_t>(alloc_, v, "gc_color");
         d_tentative_ =
             DeviceArray<std::uint32_t>(alloc_, v, "gc_tentative");
@@ -56,7 +56,7 @@ class GcWorkload : public GraphWorkloadBase
             // order), as a topological-thread-centric kernel would
             // consume them.
             d_order_ = DeviceArray<VertexId>(alloc_, v, "gc_order");
-            const auto levels = reference::bfsLevels(graph_, source_);
+            const auto levels = reference::bfsLevels(*graph_, source_);
             std::vector<VertexId> order(v);
             std::iota(order.begin(), order.end(), 0);
             std::stable_sort(order.begin(), order.end(),
@@ -100,13 +100,13 @@ class GcWorkload : public GraphWorkloadBase
     void
     validate() const override
     {
-        std::vector<std::uint32_t> colors(graph_.numVertices());
-        for (VertexId v = 0; v < graph_.numVertices(); ++v) {
+        std::vector<std::uint32_t> colors(graph_->numVertices());
+        for (VertexId v = 0; v < graph_->numVertices(); ++v) {
             colors[v] = d_color_[v];
             if (colors[v] == kInf)
                 panic("GC: vertex %u left uncolored", v);
         }
-        if (!reference::isProperColoring(graph_, colors))
+        if (!reference::isProperColoring(*graph_, colors))
             panic("GC: produced an improper coloring");
     }
 
@@ -146,7 +146,7 @@ class GcWorkload : public GraphWorkloadBase
     static WarpProgram
     assignWarp(WarpCtx ctx, GcWorkload *self, std::uint32_t round)
     {
-        const VertexId v_count = self->graph_.numVertices();
+        const VertexId v_count = self->graph_->numVertices();
         std::vector<VertexId> owned;
         std::vector<VAddr> a;
         for (std::uint32_t lane = 0; lane < ctx.laneCount(); ++lane) {
@@ -182,8 +182,8 @@ class GcWorkload : public GraphWorkloadBase
         std::vector<std::unordered_set<std::uint32_t>> used(
             active.size());
         for (VertexId v : active) {
-            pos.push_back(self->graph_.rowOffsets()[v]);
-            end.push_back(self->graph_.rowOffsets()[v + 1]);
+            pos.push_back(self->graph_->rowOffsets()[v]);
+            end.push_back(self->graph_->rowOffsets()[v + 1]);
         }
         while (true) {
             std::vector<VAddr> ea;
@@ -231,7 +231,7 @@ class GcWorkload : public GraphWorkloadBase
     static WarpProgram
     resolveWarp(WarpCtx ctx, GcWorkload *self, std::uint32_t round)
     {
-        const VertexId v_count = self->graph_.numVertices();
+        const VertexId v_count = self->graph_->numVertices();
         std::vector<VertexId> owned;
         std::vector<VAddr> a;
         for (std::uint32_t lane = 0; lane < ctx.laneCount(); ++lane) {
@@ -266,8 +266,8 @@ class GcWorkload : public GraphWorkloadBase
         std::vector<std::uint64_t> pos, end;
         std::vector<bool> loses(active.size(), false);
         for (VertexId v : active) {
-            pos.push_back(self->graph_.rowOffsets()[v]);
-            end.push_back(self->graph_.rowOffsets()[v + 1]);
+            pos.push_back(self->graph_->rowOffsets()[v]);
+            end.push_back(self->graph_->rowOffsets()[v + 1]);
         }
         while (true) {
             std::vector<VAddr> ea;

@@ -9,6 +9,7 @@
 #define BAUVM_WORKLOADS_GRAPH_WORKLOAD_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/graph/csr_graph.h"
@@ -46,7 +47,7 @@ constexpr std::uint32_t kGraphTpb = 256;
 class GraphWorkloadBase : public Workload
 {
   public:
-    const CsrGraph &graph() const { return graph_; }
+    const CsrGraph &graph() const { return *graph_; }
     VertexId source() const { return source_; }
 
   protected:
@@ -63,7 +64,7 @@ class GraphWorkloadBase : public Workload
     std::uint32_t
     vertexBlocks() const
     {
-        return (graph_.numVertices() + kGraphTpb - 1) / kGraphTpb;
+        return (graph_->numVertices() + kGraphTpb - 1) / kGraphTpb;
     }
 
     /** Number of blocks for a one-warp-per-vertex kernel. */
@@ -71,11 +72,14 @@ class GraphWorkloadBase : public Workload
     warpPerVertexBlocks(std::uint32_t warp_size = 32) const
     {
         const std::uint32_t warps_per_block = kGraphTpb / warp_size;
-        return (graph_.numVertices() + warps_per_block - 1) /
+        return (graph_->numVertices() + warps_per_block - 1) /
                warps_per_block;
     }
 
-    CsrGraph graph_;
+    // Immutable after build; shared across sweep cells of the same
+    // (workload, seed) via GraphBuildCache, so subclasses must never
+    // mutate it (per-run state belongs in the device arrays).
+    std::shared_ptr<const CsrGraph> graph_;
     VertexId source_ = 0;
     // GraphBIG stores 64-bit vertex ids and weights; the device arrays
     // use 8-byte elements accordingly (this also gives the workloads

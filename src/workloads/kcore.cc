@@ -30,13 +30,13 @@ class KcoreWorkload : public GraphWorkloadBase
     build(WorkloadScale scale, std::uint64_t seed) override
     {
         buildGraph(scale, seed, false);
-        const VertexId v = graph_.numVertices();
+        const VertexId v = graph_->numVertices();
         d_degree_ = DeviceArray<std::uint32_t>(alloc_, v, "kcore_degree");
         d_core_ = DeviceArray<std::uint32_t>(alloc_, v, "kcore_core");
         d_core_.fill(kInf); // kInf == still alive
         std::uint32_t max_deg = 0;
         for (VertexId u = 0; u < v; ++u) {
-            d_degree_[u] = static_cast<std::uint32_t>(graph_.degree(u));
+            d_degree_[u] = static_cast<std::uint32_t>(graph_->degree(u));
             max_deg = std::max(max_deg, d_degree_[u]);
         }
         max_degree_ = max_deg;
@@ -54,7 +54,7 @@ class KcoreWorkload : public GraphWorkloadBase
             // equivalent of GraphBIG's k++ sweep, skipping the empty
             // iterations so the simulation stays tractable).
             std::uint32_t min_deg = kInf;
-            for (VertexId v = 0; v < graph_.numVertices(); ++v) {
+            for (VertexId v = 0; v < graph_->numVertices(); ++v) {
                 if (d_core_[v] == kInf)
                     min_deg = std::min(min_deg, d_degree_[v]);
             }
@@ -82,8 +82,8 @@ class KcoreWorkload : public GraphWorkloadBase
     void
     validate() const override
     {
-        const auto ref = reference::kcore(graph_);
-        for (VertexId v = 0; v < graph_.numVertices(); ++v) {
+        const auto ref = reference::kcore(*graph_);
+        for (VertexId v = 0; v < graph_->numVertices(); ++v) {
             if (d_core_[v] != ref[v]) {
                 panic("KCORE: coreness mismatch at %u (got %u want %u)",
                       v, d_core_[v], ref[v]);
@@ -94,7 +94,7 @@ class KcoreWorkload : public GraphWorkloadBase
     static WarpProgram
     peelWarp(WarpCtx ctx, KcoreWorkload *self, std::uint32_t k)
     {
-        const VertexId v_count = self->graph_.numVertices();
+        const VertexId v_count = self->graph_->numVertices();
         std::vector<VertexId> owned;
         std::vector<VAddr> a;
         for (std::uint32_t lane = 0; lane < ctx.laneCount(); ++lane) {
@@ -136,8 +136,8 @@ class KcoreWorkload : public GraphWorkloadBase
         // Lockstep divergent walk decrementing neighbour degrees.
         std::vector<std::uint64_t> pos, end;
         for (VertexId v : removing) {
-            pos.push_back(self->graph_.rowOffsets()[v]);
-            end.push_back(self->graph_.rowOffsets()[v + 1]);
+            pos.push_back(self->graph_->rowOffsets()[v]);
+            end.push_back(self->graph_->rowOffsets()[v + 1]);
         }
         while (true) {
             std::vector<VAddr> ea;

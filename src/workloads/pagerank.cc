@@ -33,7 +33,7 @@ class PageRankWorkload : public GraphWorkloadBase
     {
         buildGraph(scale, seed, false);
         iterations_ = graphScale(scale).pr_iterations;
-        const VertexId v = graph_.numVertices();
+        const VertexId v = graph_->numVertices();
         d_rank_ = DeviceArray<double>(alloc_, v, "pr_rank");
         d_contrib_ = DeviceArray<double>(alloc_, v, "pr_contrib");
         d_rank_.fill(1.0 / v);
@@ -71,8 +71,8 @@ class PageRankWorkload : public GraphWorkloadBase
     validate() const override
     {
         const auto ref =
-            reference::pageRank(graph_, iterations_, kDamping);
-        for (VertexId v = 0; v < graph_.numVertices(); ++v) {
+            reference::pageRank(*graph_, iterations_, kDamping);
+        for (VertexId v = 0; v < graph_->numVertices(); ++v) {
             const double got = d_rank_[v];
             const double want = ref[v];
             const double err =
@@ -88,7 +88,7 @@ class PageRankWorkload : public GraphWorkloadBase
     static WarpProgram
     contribWarp(WarpCtx ctx, PageRankWorkload *self)
     {
-        const VertexId v_count = self->graph_.numVertices();
+        const VertexId v_count = self->graph_->numVertices();
         std::vector<VertexId> owned;
         std::vector<VAddr> a;
         for (std::uint32_t lane = 0; lane < ctx.laneCount(); ++lane) {
@@ -106,7 +106,7 @@ class PageRankWorkload : public GraphWorkloadBase
 
         std::vector<VAddr> sa;
         for (VertexId v : owned) {
-            const auto deg = self->graph_.degree(v);
+            const auto deg = self->graph_->degree(v);
             self->d_contrib_[v] =
                 deg == 0 ? 0.0
                          : self->d_rank_[v] / static_cast<double>(deg);
@@ -121,15 +121,15 @@ class PageRankWorkload : public GraphWorkloadBase
     {
         const std::uint32_t wpb = ctx.threads_per_block / ctx.warp_size;
         const VertexId v = ctx.block_id * wpb + ctx.warp_in_block;
-        const VertexId v_count = self->graph_.numVertices();
+        const VertexId v_count = self->graph_->numVertices();
         if (v >= v_count)
             co_return;
 
         co_yield loadOf(self->d_row_.addr(v), self->d_row_.addr(v + 1));
 
         double sum = 0.0;
-        const std::uint64_t begin = self->graph_.rowOffsets()[v];
-        const std::uint64_t end = self->graph_.rowOffsets()[v + 1];
+        const std::uint64_t begin = self->graph_->rowOffsets()[v];
+        const std::uint64_t end = self->graph_->rowOffsets()[v + 1];
         for (std::uint64_t e = begin; e < end; e += ctx.warp_size) {
             const std::uint64_t chunk =
                 std::min<std::uint64_t>(ctx.warp_size, end - e);

@@ -31,7 +31,7 @@ class SsspWorkload : public GraphWorkloadBase
     build(WorkloadScale scale, std::uint64_t seed) override
     {
         buildGraph(scale, seed, /*weighted=*/true);
-        const VertexId v = graph_.numVertices();
+        const VertexId v = graph_->numVertices();
         d_dist_ = DeviceArray<std::uint32_t>(alloc_, v, "sssp_dist");
         d_in_frontier_ =
             DeviceArray<std::uint32_t>(alloc_, v, "sssp_frontier");
@@ -71,8 +71,8 @@ class SsspWorkload : public GraphWorkloadBase
     void
     validate() const override
     {
-        const auto ref = reference::ssspDistances(graph_, source_);
-        for (VertexId v = 0; v < graph_.numVertices(); ++v) {
+        const auto ref = reference::ssspDistances(*graph_, source_);
+        for (VertexId v = 0; v < graph_->numVertices(); ++v) {
             const std::uint32_t want =
                 ref[v] == reference::kInfinity ? kInf : ref[v];
             if (d_dist_[v] != want) {
@@ -87,7 +87,7 @@ class SsspWorkload : public GraphWorkloadBase
     {
         const std::uint32_t wpb = ctx.threads_per_block / ctx.warp_size;
         const VertexId v = ctx.block_id * wpb + ctx.warp_in_block;
-        if (v >= self->graph_.numVertices())
+        if (v >= self->graph_->numVertices())
             co_return;
 
         co_yield loadOf(self->d_in_frontier_.addr(v));
@@ -102,8 +102,8 @@ class SsspWorkload : public GraphWorkloadBase
                                self->d_dist_.addr(v));
         const std::uint32_t dist_v = self->d_dist_[v];
 
-        const std::uint64_t begin = self->graph_.rowOffsets()[v];
-        const std::uint64_t end = self->graph_.rowOffsets()[v + 1];
+        const std::uint64_t begin = self->graph_->rowOffsets()[v];
+        const std::uint64_t end = self->graph_->rowOffsets()[v + 1];
         for (std::uint64_t e = begin; e < end; e += ctx.warp_size) {
             const std::uint64_t chunk =
                 std::min<std::uint64_t>(ctx.warp_size, end - e);
@@ -122,7 +122,7 @@ class SsspWorkload : public GraphWorkloadBase
             std::vector<VAddr> ua;
             for (std::uint64_t i = 0; i < chunk; ++i) {
                 const VertexId nb = self->d_col_[e + i];
-                const std::uint32_t w = self->graph_.weights()[e + i];
+                const std::uint32_t w = self->graph_->weights()[e + i];
                 const std::uint32_t cand = dist_v + w;
                 if (cand < self->d_dist_[nb]) {
                     self->d_dist_[nb] = cand; // atomicMin

@@ -5,6 +5,7 @@
 #include <span>
 
 #include "src/graph/generator.h"
+#include "src/graph/graph_cache.h"
 #include "src/sim/log.h"
 #include "src/workloads/graph_workload.h"
 #include "src/workloads/workload_factories.h"
@@ -28,18 +29,13 @@ graphScale(WorkloadScale scale)
     fatal("graphScale: bad scale");
 }
 
-void
-GraphWorkloadBase::buildGraph(WorkloadScale scale, std::uint64_t seed,
-                              bool weighted, double edge_factor)
+namespace
 {
-    const GraphScale gs = graphScale(scale);
-    RmatParams params;
-    params.num_vertices = gs.vertices;
-    params.num_edges = static_cast<std::uint64_t>(
-        static_cast<double>(gs.edges) * edge_factor);
-    params.undirected = true;
-    params.weighted = weighted;
-    params.seed = seed;
+
+/** Generates the R-MAT input and degree-relabels it (see below). */
+CsrGraph
+buildRelabeledRmat(const RmatParams &params, bool weighted)
+{
     CsrGraph raw = generateRmat(params);
 
     // Relabel vertices by descending degree. Real GraphBIG inputs
@@ -69,29 +65,54 @@ GraphWorkloadBase::buildGraph(WorkloadScale scale, std::uint64_t seed,
                 wts.push_back(ew[i]);
         }
     }
-    graph_ = CsrGraph::fromEdges(n, edges, wts);
-    graph_.validate();
+    CsrGraph graph = CsrGraph::fromEdges(n, edges, wts);
+    graph.validate();
+    return graph;
+}
 
-    d_row_ = DeviceArray<std::uint64_t>(alloc_, graph_.numVertices() + 1,
-                                        "row_offsets");
-    std::copy(graph_.rowOffsets().begin(), graph_.rowOffsets().end(),
+} // namespace
+
+void
+GraphWorkloadBase::buildGraph(WorkloadScale scale, std::uint64_t seed,
+                              bool weighted, double edge_factor)
+{
+    const GraphScale gs = graphScale(scale);
+    RmatParams params;
+    params.num_vertices = gs.vertices;
+    params.num_edges = static_cast<std::uint64_t>(
+        static_cast<double>(gs.edges) * edge_factor);
+    params.undirected = true;
+    params.weighted = weighted;
+    params.seed = seed;
+
+    // Memoized across sweep cells: every policy cell of a workload
+    // uses the same (workload, seed)-derived seed by design, so the
+    // generated+relabeled graph is identical and shareable.
+    const GraphBuildCache::Key key{params.num_vertices,
+                                   params.num_edges, seed, weighted};
+    graph_ = GraphBuildCache::instance().getOrBuild(
+        key, [&] { return buildRelabeledRmat(params, weighted); });
+
+    d_row_ = DeviceArray<std::uint64_t>(
+        alloc_, graph_->numVertices() + 1, "row_offsets");
+    std::copy(graph_->rowOffsets().begin(), graph_->rowOffsets().end(),
               d_row_.host().begin());
-    d_col_ = DeviceArray<std::uint64_t>(alloc_, graph_.numEdges(),
+    d_col_ = DeviceArray<std::uint64_t>(alloc_, graph_->numEdges(),
                                         "col_indices");
-    std::copy(graph_.colIndices().begin(), graph_.colIndices().end(),
+    std::copy(graph_->colIndices().begin(), graph_->colIndices().end(),
               d_col_.host().begin());
     if (weighted) {
         d_weight_ = DeviceArray<std::uint64_t>(
-            alloc_, graph_.numEdges(), "edge_weights");
-        std::copy(graph_.weights().begin(), graph_.weights().end(),
+            alloc_, graph_->numEdges(), "edge_weights");
+        std::copy(graph_->weights().begin(), graph_->weights().end(),
                   d_weight_.host().begin());
     }
 
     // Start traversals from the highest-degree vertex so they reach
     // most of the graph.
     VertexId best = 0;
-    for (VertexId v = 1; v < graph_.numVertices(); ++v) {
-        if (graph_.degree(v) > graph_.degree(best))
+    for (VertexId v = 1; v < graph_->numVertices(); ++v) {
+        if (graph_->degree(v) > graph_->degree(best))
             best = v;
     }
     source_ = best;

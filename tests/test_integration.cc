@@ -6,10 +6,15 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
 #include <tuple>
+#include <vector>
 
 #include "src/core/presets.h"
+#include "src/core/report.h"
 #include "src/core/system.h"
+#include "src/runner/sweep_runner.h"
 
 namespace bauvm
 {
@@ -33,6 +38,77 @@ TEST(Integration, DeterministicCycleCounts)
     EXPECT_EQ(a.batches, b.batches);
     EXPECT_EQ(a.evictions, b.evictions);
     EXPECT_EQ(a.instructions, b.instructions);
+}
+
+/**
+ * Builds the fig11-style speedup table for a tiny two-workload,
+ * three-policy sweep — the same table construction as
+ * bench/fig11_speedup, shrunk to regression size.
+ */
+std::string
+miniFig11Table(std::size_t jobs)
+{
+    SweepSpec spec;
+    spec.bench = "fig11_mini";
+    spec.workloads = {"BFS-TTC", "KCORE"};
+    spec.policies = {Policy::Baseline, Policy::To, Policy::ToUe};
+    spec.opt.scale = WorkloadScale::Tiny;
+    spec.opt.seed = 1;
+    spec.opt.ratio = 0.5;
+    spec.opt.jobs = jobs;
+    spec.verbose = false;
+
+    SweepRunner runner(spec);
+    const SweepResult sweep = runner.run();
+
+    std::vector<std::string> headers = {"workload"};
+    for (Policy p : spec.policies)
+        headers.push_back(policyName(p));
+    Table t(headers);
+    std::map<Policy, std::vector<double>> speedups;
+    for (const auto &w : spec.workloads) {
+        const CellOutcome *base = sweep.find(w, Policy::Baseline);
+        const double base_cycles =
+            static_cast<double>(base->result.cycles);
+        std::vector<std::string> row = {w};
+        for (Policy p : spec.policies) {
+            const CellOutcome *cell = sweep.find(w, p);
+            const double s =
+                base_cycles / static_cast<double>(cell->result.cycles);
+            speedups[p].push_back(s);
+            row.push_back(Table::num(s, 2));
+        }
+        t.addRow(row);
+    }
+    std::vector<std::string> avg = {"AVERAGE"};
+    for (Policy p : spec.policies)
+        avg.push_back(Table::num(amean(speedups[p]), 2));
+    t.addRow(avg);
+    return t.toText();
+}
+
+/**
+ * Byte-exact golden for the mini fig11 sweep (seed 1, ratio 0.5,
+ * Tiny). Captured from the pre-rewrite kernel; any drift here means
+ * the event kernel, graph memoization or sweep scheduling changed
+ * simulated behavior, not just performance. Trailing spaces are part
+ * of the table format.
+ */
+constexpr char kMiniFig11Golden[] =
+    "workload  BASELINE  TO    TO+UE  \n"
+    "---------------------------------\n"
+    "BFS-TTC   1.00      1.00  2.00   \n"
+    "KCORE     1.00      1.00  3.15   \n"
+    "AVERAGE   1.00      1.00  2.58   \n";
+
+TEST(Integration, MiniFig11GoldenSerial)
+{
+    EXPECT_EQ(miniFig11Table(1), kMiniFig11Golden);
+}
+
+TEST(Integration, MiniFig11GoldenParallelMatchesGolden)
+{
+    EXPECT_EQ(miniFig11Table(2), kMiniFig11Golden);
 }
 
 TEST(Integration, DifferentSeedsDifferentGraphs)

@@ -14,6 +14,9 @@
 #include <vector>
 
 #include "src/core/experiment.h"
+#include "src/core/presets.h"
+#include "src/core/system.h"
+#include "src/graph/graph_cache.h"
 #include "src/runner/job.h"
 #include "src/runner/job_queue.h"
 #include "src/runner/json_writer.h"
@@ -297,6 +300,45 @@ TEST(SweepResult, JsonExportCarriesSchemaAndCells)
     ASSERT_NE(f, nullptr);
     std::fclose(f);
     std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Cross-policy graph memoization
+// ---------------------------------------------------------------------
+
+TEST(SweepRunner, GraphCacheReusesBuildsAndStaysTransparent)
+{
+    SweepSpec spec;
+    spec.bench = "cache_check";
+    spec.workloads = {"BFS-TTC"};
+    spec.policies = {Policy::Baseline, Policy::To};
+    spec.opt.scale = WorkloadScale::Tiny;
+    spec.opt.seed = 7;
+    spec.opt.ratio = 0.5;
+    spec.opt.jobs = 2;
+    spec.verbose = false;
+
+    auto &cache = GraphBuildCache::instance();
+    const std::uint64_t builds_before = cache.builds();
+    const std::uint64_t hits_before = cache.hits();
+    SweepRunner runner(spec);
+    const SweepResult sweep = runner.run();
+    // Two policy cells share one workload build: 1 build, 1 reuse.
+    EXPECT_EQ(cache.builds() - builds_before, 1u);
+    EXPECT_EQ(cache.hits() - hits_before, 1u);
+
+    // Memoization must be invisible in results: a cached cell equals
+    // an uncached standalone run of the same derived config.
+    const CellOutcome *cell = sweep.find("BFS-TTC", Policy::To);
+    ASSERT_NE(cell, nullptr);
+    SimConfig config = applyPolicy(
+        paperConfig(spec.opt.ratio, deriveWorkloadSeed(7, "BFS-TTC")),
+        Policy::To);
+    const RunResult standalone =
+        runWorkload(config, "BFS-TTC", WorkloadScale::Tiny);
+    EXPECT_EQ(cell->result.cycles, standalone.cycles);
+    EXPECT_EQ(cell->result.instructions, standalone.instructions);
+    EXPECT_EQ(cell->result.evictions, standalone.evictions);
 }
 
 // ---------------------------------------------------------------------

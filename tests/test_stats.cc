@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "src/sim/stats.h"
 
 namespace bauvm
@@ -79,6 +81,47 @@ TEST(Histogram, FractionsSumToOne)
     for (std::size_t i = 0; i < h.numBuckets(); ++i)
         total += h.bucketFraction(i);
     EXPECT_DOUBLE_EQ(total, 1.0);
+}
+
+TEST(RunningStat, NonFiniteSamplesAreTalliedNotFolded)
+{
+    RunningStat s;
+    s.add(1.0);
+    s.add(std::numeric_limits<double>::quiet_NaN());
+    s.add(std::numeric_limits<double>::infinity());
+    s.add(-std::numeric_limits<double>::infinity());
+    s.add(3.0);
+    // A single NaN must not poison mean/min/max/sum.
+    EXPECT_EQ(s.count(), 2u);
+    EXPECT_EQ(s.nonfiniteCount(), 3u);
+    EXPECT_DOUBLE_EQ(s.sum(), 4.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_EQ(s.min(), 1.0);
+    EXPECT_EQ(s.max(), 3.0);
+}
+
+TEST(RunningStat, MergePropagatesNonfiniteCount)
+{
+    RunningStat a, b;
+    a.add(std::numeric_limits<double>::quiet_NaN());
+    b.add(2.0);
+    b.add(std::numeric_limits<double>::infinity());
+    a.merge(b);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_EQ(a.nonfiniteCount(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(Histogram, NonFiniteSamplesDoNotTouchBuckets)
+{
+    Histogram h(1.0, 4);
+    h.add(std::numeric_limits<double>::quiet_NaN()); // would be UB cast
+    h.add(std::numeric_limits<double>::infinity());
+    h.add(2.5);
+    EXPECT_EQ(h.bucketCount(2), 1u);
+    EXPECT_EQ(h.overflowCount(), 0u);
+    EXPECT_EQ(h.summary().count(), 1u);
+    EXPECT_EQ(h.summary().nonfiniteCount(), 2u);
 }
 
 TEST(Histogram, BucketLowBounds)
