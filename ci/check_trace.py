@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Validate bauvm.trace/1 Chrome-trace exports (CI trace smoke).
+
+Usage: check_trace.py TRACE_DIR
+
+For every *.trace.json in TRACE_DIR:
+  - otherData.schema must be "bauvm.trace/1";
+  - event accounting must balance (total = retained + dropped);
+  - every traceEvent must use a known phase ("M", "X", "i", "C") with
+    non-negative timestamps (and non-negative durations for "X").
+
+Across the directory, the TO+UE cells must show the Unobtrusive
+Eviction signature: device-to-host eviction intervals overlapping
+host-to-device migration intervals (busy at the same time on the two
+PCIe tracks), and by more than the serialized baseline ever does.
+"""
+
+import json
+import pathlib
+import sys
+
+SCHEMA = "bauvm.trace/1"
+TID_PCIE_H2D = 1001
+TID_PCIE_D2H = 1002
+
+
+def overlap_us(a, b):
+    """Overlap of two sorted, non-overlapping [start, end) span lists."""
+    total = 0.0
+    i = j = 0
+    while i < len(a) and j < len(b):
+        lo = max(a[i][0], b[j][0])
+        hi = min(a[i][1], b[j][1])
+        if lo < hi:
+            total += hi - lo
+        if a[i][1] < b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return total
+
+
+def check_file(path):
+    doc = json.loads(path.read_text())
+    other = doc["otherData"]
+    assert other["schema"] == SCHEMA, (
+        f"{path.name}: schema {other['schema']!r} != {SCHEMA!r}")
+    assert other["total_events"] == (
+        other["retained_events"] + other["dropped_events"]), (
+        f"{path.name}: event accounting does not balance")
+
+    events = doc["traceEvents"]
+    assert events, f"{path.name}: empty traceEvents"
+    spans = {TID_PCIE_H2D: [], TID_PCIE_D2H: []}
+    for ev in events:
+        ph = ev["ph"]
+        assert ph in ("M", "X", "i", "C"), (
+            f"{path.name}: unknown phase {ph!r}")
+        if ph == "M":
+            continue
+        assert ev["ts"] >= 0, f"{path.name}: negative ts"
+        if ph == "X":
+            assert ev["dur"] >= 0, f"{path.name}: negative dur"
+            if (ev["tid"] in spans and
+                    ev["name"] in ("migration", "eviction")):
+                spans[ev["tid"]].append(
+                    (ev["ts"], ev["ts"] + ev["dur"]))
+    for tid in spans:
+        spans[tid].sort()
+    return other, overlap_us(spans[TID_PCIE_H2D], spans[TID_PCIE_D2H])
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(f"usage: {sys.argv[0]} TRACE_DIR")
+    trace_dir = pathlib.Path(sys.argv[1])
+    files = sorted(trace_dir.glob("*.trace.json"))
+    if not files:
+        sys.exit(f"no *.trace.json files in {trace_dir}")
+
+    saw_toue = False
+    toue_overlap = 0.0
+    baseline_overlap = 0.0
+    for path in files:
+        other, ov = check_file(path)
+        policy = other.get("policy", "")
+        if policy == "TO+UE":
+            saw_toue = True
+            toue_overlap = max(toue_overlap, ov)
+        elif policy == "BASELINE":
+            baseline_overlap = max(baseline_overlap, ov)
+        print(f"  ok {path.name}: {other['retained_events']} events, "
+              f"{other['dropped_events']} dropped, "
+              f"pcie overlap {ov:.1f} us")
+
+    if saw_toue:
+        assert toue_overlap > 0.0, (
+            "TO+UE traces show no D2H/H2D overlap (expected pipelined "
+            "eviction)")
+        assert toue_overlap > baseline_overlap, (
+            f"TO+UE overlap ({toue_overlap:.1f} us) not above baseline "
+            f"({baseline_overlap:.1f} us)")
+        print(f"UE signature: TO+UE overlap {toue_overlap:.1f} us > "
+              f"baseline {baseline_overlap:.1f} us")
+    print(f"{len(files)} trace file(s) valid against {SCHEMA}")
+
+
+if __name__ == "__main__":
+    main()

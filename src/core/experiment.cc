@@ -64,15 +64,25 @@ parseBenchArgs(int argc, char **argv)
             opt.timeout_s = next_f64("--timeout");
             if (opt.timeout_s < 0.0)
                 fatal("--timeout must be >= 0");
+        } else if (arg == "--trace") {
+            opt.trace_dir = "traces";
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            opt.trace_dir = arg.substr(std::strlen("--trace="));
+            if (opt.trace_dir.empty())
+                fatal("--trace= requires a directory");
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "options: --scale tiny|small|medium|large --ratio R "
-                "--seed N --csv --jobs N --json PATH --timeout S\n"
+                "--seed N --csv --jobs N --json PATH --timeout S "
+                "--trace[=DIR]\n"
                 "  --jobs N     sweep worker threads "
                 "(0 = hardware concurrency, default)\n"
                 "  --json PATH  export sweep results as JSON "
                 "('-' = stdout)\n"
-                "  --timeout S  per-cell soft timeout in seconds\n");
+                "  --timeout S  per-cell soft timeout in seconds\n"
+                "  --trace[=DIR] write one chrome://tracing JSON and "
+                "one counter CSV per sweep cell (default dir: "
+                "traces)\n");
             std::exit(0);
         } else {
             fatal("unknown argument '%s'", arg.c_str());

@@ -38,11 +38,14 @@ struct BenchOptions {
     std::string json_path;
     /** Per-cell soft timeout in seconds; 0 = disabled. */
     double timeout_s = 0.0;
+    /** Trace output directory ("" = tracing off). One Chrome-trace
+     *  JSON plus one counter CSV is written per sweep cell. */
+    std::string trace_dir;
 };
 
 /**
  * Parses --scale tiny|small|medium|large, --csv, --ratio R, --seed N,
- * --jobs N, --json PATH, --timeout S.
+ * --jobs N, --json PATH, --timeout S, --trace[=DIR].
  */
 BenchOptions parseBenchArgs(int argc, char **argv);
 

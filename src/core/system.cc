@@ -17,6 +17,13 @@ GpuUvmSystem::GpuUvmSystem(const SimConfig &config)
       runtime_(config.uvm, events_, manager_, hierarchy_)
 {
     gpu_ = std::make_unique<Gpu>(config_, events_, hierarchy_, runtime_);
+    if (config_.trace.enabled) {
+        trace_ =
+            std::make_unique<TraceSink>(config_.trace.buffer_records);
+        runtime_.setTrace(trace_.get());
+        manager_.setTrace(trace_.get());
+        gpu_->setTrace(trace_.get());
+    }
     if (config_.etc.enabled) {
         etc_ = std::make_unique<EtcFramework>(
             config_.etc, EtcAppClass::Irregular, manager_, hierarchy_,

@@ -18,6 +18,7 @@
 #include "src/mem/memory_hierarchy.h"
 #include "src/sim/config.h"
 #include "src/sim/event_queue.h"
+#include "src/trace/trace_sink.h"
 #include "src/uvm/gpu_memory_manager.h"
 #include "src/uvm/uvm_runtime.h"
 #include "src/workloads/workload.h"
@@ -91,9 +92,14 @@ class GpuUvmSystem
     Gpu &gpu() { return *gpu_; }
     const SimConfig &config() const { return config_; }
 
+    /** The run's trace sink, or nullptr when config.trace.enabled is
+     *  false. Owned by the system; valid for its whole lifetime. */
+    TraceSink *trace() { return trace_.get(); }
+
   private:
     SimConfig config_;
     EventQueue events_;
+    std::unique_ptr<TraceSink> trace_;
     GpuMemoryManager manager_;
     MemoryHierarchy hierarchy_;
     UvmRuntime runtime_;

@@ -36,6 +36,10 @@ BlockDispatcher::launch(const KernelInfo *kernel,
     const Occupancy occ = computeOccupancy(config_, *kernel);
     baseline_ = occ.blocks_per_sm;
     vtc_.setKernel(kernel);
+    BAUVM_DLOG("BlockDispatcher: launching '%s': %u blocks, %u "
+               "active per SM (+%u oversubscribed)",
+               kernel->name.c_str(), total_, baseline_,
+               vtc_.enabled() ? vtc_.allowedExtra() : 0);
 
     // Round-robin the initial active assignment so that neighbouring
     // blocks land on different SMs, as hardware rasterization does.

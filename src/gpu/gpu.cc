@@ -21,6 +21,14 @@ Gpu::Gpu(const SimConfig &config, EventQueue &events,
         [this](OversubAdvice advice) { vtc_.onAdvice(advice); });
 }
 
+void
+Gpu::setTrace(TraceSink *trace)
+{
+    for (auto &sm : sms_)
+        sm->setTrace(trace);
+    vtc_.setTrace(trace, &events_);
+}
+
 Cycle
 Gpu::runKernel(const KernelInfo &kernel)
 {

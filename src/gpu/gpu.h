@@ -37,6 +37,9 @@ class Gpu : public SmListener
      */
     Cycle runKernel(const KernelInfo &kernel);
 
+    /** Enables tracing on every SM and the VT controller. */
+    void setTrace(TraceSink *trace);
+
     VirtualThreadController &vtc() { return vtc_; }
     BlockDispatcher &dispatcher() { return dispatcher_; }
     const Sm &sm(std::uint32_t i) const { return *sms_[i]; }

@@ -52,6 +52,11 @@ Sm::addBlock(const KernelInfo *kernel, std::uint32_t block_id,
         b.warps[w].prog = kernel->make_program(ctx);
         b.warps[w].st = WarpStatus::Ready;
     }
+    if (trace_) {
+        trace_->instant(TraceEventType::BlockDispatch, traceTrackSm(id_),
+                        events_.now(), block_id, active ? 1 : 0);
+    }
+    traceOccupancy();
     if (active) {
         for (std::uint32_t w = 0; w < warps; ++w)
             enqueueReady(slot, w);
@@ -66,10 +71,16 @@ Sm::activateBlock(std::uint32_t slot, Cycle delay)
     if (b.active || b.activating || b.finished)
         panic("Sm: bad activateBlock state");
     b.activating = true;
+    if (trace_) {
+        trace_->interval(TraceEventType::CtxSwitchIn, traceTrackSm(id_),
+                         events_.now(), events_.now() + delay,
+                         b.block_id, slot);
+    }
     events_.scheduleAfter(delay, [this, slot] {
         Block &blk = blocks_[slot];
         blk.activating = false;
         blk.active = true;
+        traceOccupancy();
         for (std::uint32_t w = 0; w < blk.warps.size(); ++w) {
             if (blk.warps[w].st == WarpStatus::Ready)
                 enqueueReady(slot, w);
@@ -88,6 +99,11 @@ Sm::deactivateBlock(std::uint32_t slot)
     if (!b.active)
         panic("Sm: deactivating inactive block");
     b.active = false;
+    if (trace_) {
+        trace_->instant(TraceEventType::CtxSwitchOut, traceTrackSm(id_),
+                        events_.now(), b.block_id, slot);
+    }
+    traceOccupancy();
 }
 
 std::size_t
@@ -320,7 +336,15 @@ Sm::execMemoryOp(std::uint32_t slot, std::uint32_t warp,
     ws.pending_faults =
         static_cast<std::uint32_t>(fault_pages.size());
     faults_raised_ += fault_pages.size();
+    BAUVM_DLOG("Sm %u: warp %u of block %u faults on %zu pages at "
+               "cycle %llu",
+               id_, warp, b.block_id, fault_pages.size(),
+               static_cast<unsigned long long>(issue));
     for (PageNum vpn : fault_pages) {
+        if (trace_) {
+            trace_->instant(TraceEventType::PageFault,
+                            traceTrackSm(id_), issue, vpn, warp);
+        }
         runtime_.onPageFault(vpn, [this, slot, warp](Cycle) {
             onFaultResolved(slot, warp);
         });
@@ -384,6 +408,12 @@ Sm::finishWarp(std::uint32_t slot, std::uint32_t warp)
     if (b.liveWarps() == 0) {
         b.finished = true;
         b.active = false;
+        if (trace_) {
+            trace_->instant(TraceEventType::BlockFinish,
+                            traceTrackSm(id_), events_.now(),
+                            b.block_id, slot);
+        }
+        traceOccupancy();
         if (listener_)
             listener_->onBlockFinished(id_, slot);
         return;
@@ -407,6 +437,16 @@ Sm::maybeReleaseBarrier(std::uint32_t slot)
             });
         }
     }
+}
+
+void
+Sm::traceOccupancy()
+{
+    if (!trace_)
+        return;
+    trace_->counter(TraceEventType::SmOccupancy, traceTrackSm(id_),
+                    events_.now(), activeBlocks(),
+                    static_cast<std::uint32_t>(residentBlocks()));
 }
 
 void

@@ -24,6 +24,7 @@
 #include "src/sim/config.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/types.h"
+#include "src/trace/trace_sink.h"
 #include "src/uvm/uvm_runtime.h"
 
 namespace bauvm
@@ -106,6 +107,10 @@ class Sm
         switch_on_memory_stall_ = on;
     }
 
+    /** Enables tracing on this SM's own track (faults, dispatches,
+     *  context switches, occupancy samples). nullptr disables. */
+    void setTrace(TraceSink *trace) { trace_ = trace; }
+
     std::uint64_t issuedInstructions() const { return issued_; }
     std::uint64_t memoryInstructions() const
     {
@@ -168,6 +173,8 @@ class Sm
     void finishWarp(std::uint32_t slot, std::uint32_t warp);
     void maybeReleaseBarrier(std::uint32_t slot);
     void checkBlockStalled(std::uint32_t slot);
+    /** Samples the active/resident block counters onto the trace. */
+    void traceOccupancy();
 
     std::uint32_t id_;
     GpuConfig config_;
@@ -176,6 +183,7 @@ class Sm
     UvmRuntime &runtime_;
     SmListener *listener_;
     Coalescer coalescer_;
+    TraceSink *trace_ = nullptr;
 
     bool switch_on_memory_stall_ = false;
     std::vector<Block> blocks_;

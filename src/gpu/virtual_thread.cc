@@ -49,6 +49,9 @@ VirtualThreadController::doSwitch(Sm &sm, std::uint32_t out_slot,
     Cycle cost = oneWayCost();
     if (sm.blockStarted(in_slot))
         cost += oneWayCost();
+    BAUVM_DLOG("Vtc: sm %u switches slot %u -> slot %u (%llu cycles)",
+               sm.id(), out_slot, in_slot,
+               static_cast<unsigned long long>(cost));
     sm.deactivateBlock(out_slot);
     sm.activateBlock(in_slot, cost);
     ++switches_;
@@ -90,6 +93,7 @@ VirtualThreadController::onAdvice(OversubAdvice advice)
 {
     if (!config_.enabled)
         return;
+    const std::uint32_t before = allowed_extra_;
     switch (advice) {
       case OversubAdvice::Throttle:
         grow_streak_ = 0;
@@ -113,6 +117,12 @@ VirtualThreadController::onAdvice(OversubAdvice advice)
         break;
       case OversubAdvice::NoChange:
         break;
+    }
+    if (trace_ && clock_ && allowed_extra_ != before) {
+        trace_->counter(TraceEventType::OversubDegree,
+                        kTraceTrackRuntime, clock_->now(),
+                        allowed_extra_,
+                        static_cast<std::uint32_t>(advice));
     }
 }
 

@@ -29,7 +29,9 @@
 #include "src/gpu/sm.h"
 #include "src/gpu/warp_program.h"
 #include "src/sim/config.h"
+#include "src/sim/event_queue.h"
 #include "src/sim/types.h"
+#include "src/trace/trace_sink.h"
 #include "src/uvm/lifetime_tracker.h"
 
 namespace bauvm
@@ -61,6 +63,14 @@ class VirtualThreadController
     /** Premature-eviction advice from the UVM runtime, once per batch. */
     void onAdvice(OversubAdvice advice);
 
+    /** Enables tracing: oversubscription-degree changes emit counter
+     *  samples stamped with @p clock's current cycle. */
+    void setTrace(TraceSink *trace, const EventQueue *clock)
+    {
+        trace_ = trace;
+        clock_ = clock;
+    }
+
     bool enabled() const { return config_.enabled; }
 
     /** Extra (beyond-schedule-limit) blocks each SM may host now. */
@@ -84,6 +94,8 @@ class VirtualThreadController
 
     ToConfig config_;
     std::vector<std::unique_ptr<Sm>> &sms_;
+    TraceSink *trace_ = nullptr;
+    const EventQueue *clock_ = nullptr;
     const KernelInfo *kernel_ = nullptr;
     std::function<void()> top_up_;
     /** Consecutive healthy windows required before adding a block. */

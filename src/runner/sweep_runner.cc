@@ -4,11 +4,14 @@
 #include <chrono>
 #include <cstdio>
 #include <exception>
+#include <filesystem>
+#include <memory>
 #include <mutex>
 
 #include "src/graph/graph_cache.h"
 #include "src/runner/thread_pool.h"
 #include "src/sim/log.h"
+#include "src/trace/trace_export.h"
 
 namespace bauvm
 {
@@ -24,6 +27,26 @@ secondsSince(Clock::time_point t0)
     return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
+/** Builds "<bench>__<workload>__<policy>[__<variant>]" with
+ *  filesystem-hostile characters replaced by '-'. */
+std::string
+cellFileStem(const SweepSpec &spec, const SweepJob &job)
+{
+    std::string stem = spec.bench + "__" + job.workload + "__" +
+                       policyName(job.policy);
+    if (!job.variant.empty())
+        stem += "__" + job.variant;
+    for (char &c : stem) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '-' ||
+                        c == '_' || c == '.';
+        if (!ok)
+            c = '-';
+    }
+    return stem;
+}
+
 /** Runs one cell with abort capture; never throws. */
 CellOutcome
 executeJob(const SweepJob &job, const SweepSpec &spec)
@@ -35,6 +58,12 @@ executeJob(const SweepJob &job, const SweepSpec &spec)
     out.seed = job.seed;
     out.job_seed = job.job_seed;
 
+    const bool tracing = !spec.opt.trace_dir.empty();
+    // The system outlives the try block so an aborted cell's partial
+    // trace buffer can still be flushed to disk below.
+    std::unique_ptr<GpuUvmSystem> system;
+    bool aborted = false;
+
     const auto t0 = Clock::now();
     try {
         ScopedAbortCapture capture;
@@ -43,16 +72,44 @@ executeJob(const SweepJob &job, const SweepSpec &spec)
         if (job.variant_index < spec.variants.size() &&
             spec.variants[job.variant_index].mutate)
             spec.variants[job.variant_index].mutate(config);
-        out.result = runWorkload(config, job.workload, spec.opt.scale);
+        config.trace.enabled = tracing;
+        auto workload = makeWorkload(job.workload);
+        system = std::make_unique<GpuUvmSystem>(config);
+        out.result = system->run(*workload, spec.opt.scale);
         out.ok = true;
     } catch (const SimAbort &e) {
+        aborted = true;
         out.error = e.what();
     } catch (const std::exception &e) {
+        aborted = true;
         out.error = e.what();
     } catch (...) {
+        aborted = true;
         out.error = "unknown exception";
     }
     out.wall_s = secondsSince(t0);
+
+    if (tracing && system && system->trace()) {
+        TraceMeta meta;
+        meta.bench = spec.bench;
+        meta.workload = job.workload;
+        meta.policy = policyName(job.policy);
+        meta.variant = job.variant;
+        meta.scale = scaleName(spec.opt.scale);
+        meta.seed = job.seed;
+        meta.ratio = spec.opt.ratio;
+        meta.partial = aborted;
+        // A cell that died mid-run still flushes whatever the ring
+        // holds; the .partial suffix keeps it out of tooling that
+        // expects complete timelines.
+        const std::string suffix = aborted ? ".partial" : "";
+        const std::string base =
+            spec.opt.trace_dir + "/" + cellFileStem(spec, job);
+        writeChromeTrace(*system->trace(), meta,
+                         base + ".trace.json" + suffix);
+        writeCounterCsv(*system->trace(),
+                        base + ".counters.csv" + suffix);
+    }
 
     if (out.ok && spec.opt.timeout_s > 0.0 &&
         out.wall_s > spec.opt.timeout_s) {
@@ -120,6 +177,16 @@ SweepRunner::run()
                     deriveJobSeed(spec_.opt.seed, w, p, label);
                 jobs.push_back(std::move(job));
             }
+        }
+    }
+
+    if (!spec_.opt.trace_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(spec_.opt.trace_dir, ec);
+        if (ec) {
+            fatal("SweepRunner: cannot create trace dir '%s': %s",
+                  spec_.opt.trace_dir.c_str(),
+                  ec.message().c_str());
         }
     }
 

@@ -112,6 +112,17 @@ struct ToConfig {
     bool switch_on_memory_stall = false;
 };
 
+/** Simulation tracing (src/trace) parameters. */
+struct TraceConfig {
+    /** Master switch: when false no TraceSink is built and every
+     *  instrumentation site reduces to one null-pointer branch. */
+    bool enabled = false;
+    /** Ring capacity in 32-byte records; when the simulation emits
+     *  more, the oldest records are overwritten and counted as
+     *  dropped_events in the export. */
+    std::uint64_t buffer_records = 1u << 20;
+};
+
 /** ETC baseline (Li et al., ASPLOS'19) parameters. */
 struct EtcConfig {
     bool enabled = false;
@@ -144,6 +155,7 @@ struct SimConfig {
     UvmConfig uvm;
     ToConfig to;
     EtcConfig etc;
+    TraceConfig trace;
     /**
      * GPU memory capacity as a fraction of the workload footprint
      * (the paper's oversubscription ratio). 1.0 means everything fits;

@@ -46,6 +46,19 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /**
+ * Level-checked debug logging for hot paths: the format arguments are
+ * not evaluated unless verbosity is at least Debug, so call sites may
+ * freely format per-event detail (string building, .c_str(), derived
+ * statistics) without taxing a normal run. Prefer this over calling
+ * debugLog() directly anywhere the simulator's inner loops reach.
+ */
+#define BAUVM_DLOG(...)                                               \
+    do {                                                              \
+        if (::bauvm::logLevel() >= ::bauvm::LogLevel::Debug)          \
+            ::bauvm::debugLog(__VA_ARGS__);                           \
+    } while (0)
+
+/**
  * Aborts: something happened that must never happen regardless of user
  * input (i.e. a simulator bug).
  */

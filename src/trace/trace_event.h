@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Trace event taxonomy and the fixed-size binary record.
+ *
+ * One TraceRecord is 32 bytes of plain data: a [begin, end] cycle
+ * interval (instants use begin == end), two payload arguments whose
+ * meaning depends on the event type, and a track id that names the
+ * timeline the event belongs to (one per SM, one per PCIe direction,
+ * one for the UVM runtime, one for the memory manager). Records are
+ * written into the TraceSink ring on the simulation hot path, so the
+ * layout is append-only POD — interpretation (names, Chrome JSON
+ * phases, counter series) lives entirely in the exporter.
+ */
+
+#ifndef BAUVM_TRACE_TRACE_EVENT_H_
+#define BAUVM_TRACE_TRACE_EVENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/sim/types.h"
+
+namespace bauvm
+{
+
+/**
+ * Typed trace events. The arg0/arg1 columns document each type's
+ * payload; "track" names the timeline the exporter files it under.
+ *
+ * type              kind      track        arg0            arg1
+ * ----------------- --------- ------------ --------------- ------------
+ * BatchWindow       interval  runtime      fault pages     prefetch pages
+ * FaultHandling     interval  runtime      fault pages     —
+ * PageFault         instant   SM           vpn             warp slot
+ * Migration         interval  pcie h2d     vpn             bytes on wire
+ * Eviction          interval  pcie d2h     vpn             bytes on wire
+ * PrefetchIssue     instant   runtime      pages picked    demand pages
+ * CtxSwitchOut      instant   SM           block slot      —
+ * CtxSwitchIn       interval  SM           block slot      restore cycles
+ * PcieBusy          interval  pcie h2d/d2h bytes on wire   transfer #
+ * SmOccupancy       counter   SM           active blocks   resident blocks
+ * FaultBufferDepth  counter   runtime      entries         overflow queue
+ * CommittedFrames   counter   memory       committed       capacity
+ * LifetimeWindow    instant   memory       avg life (cyc)  OversubAdvice
+ * OversubDegree     counter   runtime      allowed extra   —
+ * BlockDispatch     instant   SM           grid block id   active flag
+ * BlockFinish       instant   SM           grid block id   block slot
+ */
+enum class TraceEventType : std::uint8_t {
+    BatchWindow = 0,
+    FaultHandling,
+    PageFault,
+    Migration,
+    Eviction,
+    PrefetchIssue,
+    CtxSwitchOut,
+    CtxSwitchIn,
+    PcieBusy,
+    SmOccupancy,
+    FaultBufferDepth,
+    CommittedFrames,
+    LifetimeWindow,
+    OversubDegree,
+    BlockDispatch,
+    BlockFinish,
+    kCount,
+};
+
+/** Stable lower-case name of @p type, as emitted in exports. */
+const char *traceEventTypeName(TraceEventType type);
+
+/** True for the counter-series types (exported as Chrome "C" events). */
+bool traceEventIsCounter(TraceEventType type);
+
+/**
+ * Track ids. SMs use their id directly (0 .. num_sms-1); the
+ * non-SM timelines live at the top of the 16-bit range so they can
+ * never collide with an SM id.
+ */
+using TraceTrack = std::uint16_t;
+inline constexpr TraceTrack kTraceTrackRuntime = 0xfff0;
+inline constexpr TraceTrack kTraceTrackPcieH2d = 0xfff1;
+inline constexpr TraceTrack kTraceTrackPcieD2h = 0xfff2;
+inline constexpr TraceTrack kTraceTrackMemory = 0xfff3;
+
+/** SM @p id as a track. */
+inline TraceTrack
+traceTrackSm(std::uint32_t id)
+{
+    return static_cast<TraceTrack>(id);
+}
+
+/** Human-readable track name ("sm3", "pcie_h2d", ...). */
+std::string traceTrackName(TraceTrack track);
+
+/** One fixed-size binary trace record (see file doc). */
+struct TraceRecord {
+    Cycle begin = 0;          //!< event start cycle
+    Cycle end = 0;            //!< event end cycle (== begin for instants)
+    std::uint64_t arg0 = 0;   //!< type-dependent payload
+    std::uint32_t arg1 = 0;   //!< type-dependent payload
+    TraceTrack track = 0;     //!< timeline the event belongs to
+    std::uint8_t type = 0;    //!< TraceEventType
+    std::uint8_t reserved = 0;
+
+    TraceEventType eventType() const
+    {
+        return static_cast<TraceEventType>(type);
+    }
+};
+static_assert(sizeof(TraceRecord) == 32,
+              "trace record must stay 32 bytes (hot-path append)");
+
+} // namespace bauvm
+
+#endif // BAUVM_TRACE_TRACE_EVENT_H_

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Trace exporters — run off the hot path, after (or instead of) a
+ * completed simulation.
+ *
+ * Two formats:
+ *  - **Chrome trace JSON** (schema "bauvm.trace/1"): the object form
+ *    of the Trace Event Format that chrome://tracing and Perfetto
+ *    open directly. Every track becomes a named thread (one per SM,
+ *    one per PCIe direction, one for the UVM runtime, one for the
+ *    memory manager); intervals become complete ("X") events,
+ *    instants become "i" events, and the counter taxonomy becomes
+ *    "C" series. Run metadata — workload, policy, seed, and the
+ *    sink's dropped_events accounting — rides in "otherData".
+ *  - **Counter CSV**: the counter-series records only, one sample per
+ *    row (`cycle,track,counter,value`), for quick plotting without a
+ *    trace viewer.
+ */
+
+#ifndef BAUVM_TRACE_TRACE_EXPORT_H_
+#define BAUVM_TRACE_TRACE_EXPORT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/trace/trace_sink.h"
+
+namespace bauvm
+{
+
+/** JSON schema tag stamped into every Chrome-trace export. */
+inline constexpr const char *kTraceSchema = "bauvm.trace/1";
+
+/** Run identification embedded in the export's otherData. */
+struct TraceMeta {
+    std::string bench;     //!< producing binary ("" when direct)
+    std::string workload;
+    std::string policy;
+    std::string variant;
+    std::string scale;
+    std::uint64_t seed = 0;
+    double ratio = 0.0;
+    /** True when the run aborted and the buffer is a partial flush. */
+    bool partial = false;
+};
+
+/** Serializes @p sink as a Chrome trace JSON document. */
+std::string toChromeTraceJson(const TraceSink &sink,
+                              const TraceMeta &meta);
+
+/**
+ * Writes toChromeTraceJson() to @p path.
+ * @return false (with a warn) when the file cannot be written.
+ */
+bool writeChromeTrace(const TraceSink &sink, const TraceMeta &meta,
+                      const std::string &path);
+
+/** Serializes the counter-series records as CSV (with header row). */
+std::string toCounterCsv(const TraceSink &sink);
+
+/** Writes toCounterCsv() to @p path; false + warn on I/O failure. */
+bool writeCounterCsv(const TraceSink &sink, const std::string &path);
+
+} // namespace bauvm
+
+#endif // BAUVM_TRACE_TRACE_EXPORT_H_

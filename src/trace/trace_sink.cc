@@ -1,0 +1,94 @@
+#include "src/trace/trace_sink.h"
+
+#include <algorithm>
+
+namespace bauvm
+{
+
+TraceSink::TraceSink(std::uint64_t capacity_records)
+    : capacity_(std::max<std::uint64_t>(1, capacity_records)),
+      buf_(capacity_)
+{
+}
+
+void
+TraceSink::clear()
+{
+    next_ = 0;
+    total_ = 0;
+}
+
+const char *
+traceEventTypeName(TraceEventType type)
+{
+    switch (type) {
+      case TraceEventType::BatchWindow:
+        return "batch";
+      case TraceEventType::FaultHandling:
+        return "fault_handling";
+      case TraceEventType::PageFault:
+        return "page_fault";
+      case TraceEventType::Migration:
+        return "migration";
+      case TraceEventType::Eviction:
+        return "eviction";
+      case TraceEventType::PrefetchIssue:
+        return "prefetch";
+      case TraceEventType::CtxSwitchOut:
+        return "ctx_switch_out";
+      case TraceEventType::CtxSwitchIn:
+        return "ctx_switch_in";
+      case TraceEventType::PcieBusy:
+        return "pcie_busy";
+      case TraceEventType::SmOccupancy:
+        return "sm_occupancy";
+      case TraceEventType::FaultBufferDepth:
+        return "fault_buffer_depth";
+      case TraceEventType::CommittedFrames:
+        return "committed_frames";
+      case TraceEventType::LifetimeWindow:
+        return "lifetime_window";
+      case TraceEventType::OversubDegree:
+        return "oversub_degree";
+      case TraceEventType::BlockDispatch:
+        return "block_dispatch";
+      case TraceEventType::BlockFinish:
+        return "block_finish";
+      case TraceEventType::kCount:
+        break;
+    }
+    return "unknown";
+}
+
+bool
+traceEventIsCounter(TraceEventType type)
+{
+    switch (type) {
+      case TraceEventType::SmOccupancy:
+      case TraceEventType::FaultBufferDepth:
+      case TraceEventType::CommittedFrames:
+      case TraceEventType::OversubDegree:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+traceTrackName(TraceTrack track)
+{
+    switch (track) {
+      case kTraceTrackRuntime:
+        return "uvm_runtime";
+      case kTraceTrackPcieH2d:
+        return "pcie_h2d";
+      case kTraceTrackPcieD2h:
+        return "pcie_d2h";
+      case kTraceTrackMemory:
+        return "gpu_memory";
+      default:
+        return "sm" + std::to_string(track);
+    }
+}
+
+} // namespace bauvm

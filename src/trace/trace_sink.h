@@ -1,0 +1,130 @@
+/**
+ * @file
+ * TraceSink: the per-run binary event buffer.
+ *
+ * A fixed-capacity ring of 32-byte TraceRecords, fully preallocated at
+ * construction, so emitting an event on the simulation hot path is a
+ * bounds check plus one struct store — no allocation, no formatting,
+ * no I/O. When the ring is full the *oldest* record is overwritten
+ * (the newest events are the ones that explain a failure) and the
+ * overwrite is counted in droppedEvents(), which every exporter
+ * surfaces so a truncated trace is never mistaken for a complete one.
+ *
+ * Tracing is compiled in but branch-gated: instrumented components
+ * hold a `TraceSink *` that is null when tracing is disabled, and
+ * every emission site is guarded by that null check. A disabled run
+ * therefore pays one predictable branch per site and nothing else.
+ *
+ * The sink is single-threaded, like the simulation that feeds it; in
+ * a parallel sweep each cell owns a private sink.
+ */
+
+#ifndef BAUVM_TRACE_TRACE_SINK_H_
+#define BAUVM_TRACE_TRACE_SINK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/trace/trace_event.h"
+
+namespace bauvm
+{
+
+/** Bounded, allocation-free-on-append event buffer (see file doc). */
+class TraceSink
+{
+  public:
+    /** @param capacity_records ring size; clamped to >= 1. */
+    explicit TraceSink(std::uint64_t capacity_records);
+
+    /** Records an interval event [begin, end] on @p track. */
+    void
+    interval(TraceEventType type, TraceTrack track, Cycle begin,
+             Cycle end, std::uint64_t arg0 = 0, std::uint32_t arg1 = 0)
+    {
+        TraceRecord r;
+        r.begin = begin;
+        r.end = end;
+        r.arg0 = arg0;
+        r.arg1 = arg1;
+        r.track = track;
+        r.type = static_cast<std::uint8_t>(type);
+        push(r);
+    }
+
+    /** Records an instant event at @p when on @p track. */
+    void
+    instant(TraceEventType type, TraceTrack track, Cycle when,
+            std::uint64_t arg0 = 0, std::uint32_t arg1 = 0)
+    {
+        interval(type, track, when, when, arg0, arg1);
+    }
+
+    /** Records a counter sample at @p when on @p track. */
+    void
+    counter(TraceEventType type, TraceTrack track, Cycle when,
+            std::uint64_t arg0, std::uint32_t arg1 = 0)
+    {
+        interval(type, track, when, when, arg0, arg1);
+    }
+
+    /** Records currently held (<= capacity()). */
+    std::uint64_t size() const
+    {
+        return total_ < capacity_ ? total_ : capacity_;
+    }
+
+    std::uint64_t capacity() const { return capacity_; }
+
+    /** Total emissions over the sink's lifetime, kept or not. */
+    std::uint64_t totalEvents() const { return total_; }
+
+    /** Oldest records overwritten because the ring wrapped. */
+    std::uint64_t droppedEvents() const
+    {
+        return total_ < capacity_ ? 0 : total_ - capacity_;
+    }
+
+    /**
+     * Retained record @p i in chronological (emission) order:
+     * index 0 is the oldest record still held.
+     */
+    const TraceRecord &
+    at(std::uint64_t i) const
+    {
+        const std::uint64_t base =
+            total_ < capacity_ ? 0 : next_;
+        return buf_[(base + i) % capacity_];
+    }
+
+    /** Calls @p fn on every retained record, oldest first. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        const std::uint64_t n = size();
+        for (std::uint64_t i = 0; i < n; ++i)
+            fn(at(i));
+    }
+
+    /** Empties the sink (capacity and drop counter history reset). */
+    void clear();
+
+  private:
+    void
+    push(const TraceRecord &r)
+    {
+        buf_[next_] = r;
+        next_ = next_ + 1 == capacity_ ? 0 : next_ + 1;
+        ++total_;
+    }
+
+    std::uint64_t capacity_;
+    std::uint64_t next_ = 0;  //!< ring slot the next record lands in
+    std::uint64_t total_ = 0; //!< lifetime emissions
+    std::vector<TraceRecord> buf_;
+};
+
+} // namespace bauvm
+
+#endif // BAUVM_TRACE_TRACE_SINK_H_

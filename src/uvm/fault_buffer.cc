@@ -30,10 +30,21 @@ FaultBuffer::insert(PageNum vpn, Cycle now)
             }
         }
         overflow_.push_back(FaultRecord{vpn, now, 1});
+        if (trace_) {
+            trace_->counter(
+                TraceEventType::FaultBufferDepth, kTraceTrackRuntime,
+                now, order_.size(),
+                static_cast<std::uint32_t>(overflow_.size()));
+        }
         return;
     }
     index_.emplace(vpn, order_.size());
     order_.push_back(FaultRecord{vpn, now, 1});
+    if (trace_) {
+        trace_->counter(TraceEventType::FaultBufferDepth,
+                        kTraceTrackRuntime, now, order_.size(),
+                        static_cast<std::uint32_t>(overflow_.size()));
+    }
 }
 
 std::vector<FaultRecord>

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/sim/types.h"
+#include "src/trace/trace_sink.h"
 
 namespace bauvm
 {
@@ -39,6 +40,9 @@ class FaultBuffer
   public:
     /** @param capacity maximum distinct-page entries held. */
     explicit FaultBuffer(std::uint32_t capacity);
+
+    /** Enables tracing: inserts emit occupancy counter samples. */
+    void setTrace(TraceSink *trace) { trace_ = trace; }
 
     /**
      * Records a fault on @p vpn at cycle @p now.
@@ -69,6 +73,7 @@ class FaultBuffer
     std::uint64_t totalFaults() const { return total_faults_; }
 
   private:
+    TraceSink *trace_ = nullptr;
     std::uint32_t capacity_;
     std::vector<FaultRecord> order_;  //!< insertion-ordered entries
     std::unordered_map<PageNum, std::size_t> index_; //!< vpn -> order_ idx

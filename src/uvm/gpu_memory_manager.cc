@@ -41,6 +41,11 @@ void
 GpuMemoryManager::commitPage(PageNum vpn, Cycle now)
 {
     ++migrations_;
+    if (trace_) {
+        trace_->counter(TraceEventType::CommittedFrames,
+                        kTraceTrackMemory, now, committed_,
+                        static_cast<std::uint32_t>(capacity_pages_));
+    }
     page_table_.map(vpn, vpn /* identity frames: timing-only model */);
     alloc_time_[vpn] = now;
 
@@ -89,6 +94,12 @@ GpuMemoryManager::beginEviction(PageNum *vpn, Cycle now)
     auto at = alloc_time_.find(victim);
     if (at == alloc_time_.end())
         panic("GpuMemoryManager: victim with no allocation time");
+    BAUVM_DLOG("GpuMemoryManager: evict vpn %llu after %llu cycles "
+               "(%llu/%llu frames committed)",
+               static_cast<unsigned long long>(victim),
+               static_cast<unsigned long long>(now - at->second),
+               static_cast<unsigned long long>(committed_),
+               static_cast<unsigned long long>(capacity_pages_));
     lifetime_.addLifetime(now - at->second);
     alloc_time_.erase(at);
 

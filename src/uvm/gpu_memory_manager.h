@@ -22,6 +22,7 @@
 #include "src/mem/page_table.h"
 #include "src/sim/config.h"
 #include "src/sim/types.h"
+#include "src/trace/trace_sink.h"
 #include "src/uvm/lifetime_tracker.h"
 
 namespace bauvm
@@ -38,6 +39,16 @@ class GpuMemoryManager
      */
     GpuMemoryManager(const UvmConfig &config,
                      std::uint64_t capacity_pages);
+
+    /** Enables tracing on this manager and its lifetime tracker:
+     *  commits and eviction starts emit committed-frames counter
+     *  samples on the memory track. nullptr disables. */
+    void
+    setTrace(TraceSink *trace)
+    {
+        trace_ = trace;
+        lifetime_.setTrace(trace);
+    }
 
     /** The GPU page table (shared with the MemoryHierarchy). */
     PageTable &pageTable() { return page_table_; }
@@ -123,6 +134,7 @@ class GpuMemoryManager
         return vpn / config_.root_chunk_pages;
     }
 
+    TraceSink *trace_ = nullptr;
     UvmConfig config_;
     std::uint64_t capacity_pages_;
     std::uint64_t committed_ = 0;

@@ -45,6 +45,12 @@ LifetimeTracker::update(Cycle now)
             running_sum_ += avg;
             ++closed_windows_;
             window_.reset();
+            if (trace_) {
+                trace_->instant(
+                    TraceEventType::LifetimeWindow, kTraceTrackMemory,
+                    window_end_, static_cast<std::uint64_t>(avg),
+                    static_cast<std::uint32_t>(advice));
+            }
         }
         window_end_ += window_cycles_;
     }

@@ -20,6 +20,7 @@
 #include "src/sim/config.h"
 #include "src/sim/stats.h"
 #include "src/sim/types.h"
+#include "src/trace/trace_sink.h"
 
 namespace bauvm
 {
@@ -36,6 +37,10 @@ class LifetimeTracker
 {
   public:
     LifetimeTracker(Cycle window_cycles, double drop_threshold);
+
+    /** Enables tracing: each closed window emits a LifetimeWindow
+     *  instant with its average lifetime and the resulting advice. */
+    void setTrace(TraceSink *trace) { trace_ = trace; }
 
     /** Records one page eviction whose page lived @p lifetime cycles. */
     void addLifetime(Cycle lifetime);
@@ -61,6 +66,7 @@ class LifetimeTracker
     const RunningStat &lifetimes() const { return all_lifetimes_; }
 
   private:
+    TraceSink *trace_ = nullptr;
     Cycle window_cycles_;
     double drop_threshold_;
     Cycle window_end_;

@@ -27,21 +27,33 @@ PcieLink::transferCycles(std::uint64_t bytes, PcieDir dir) const
 }
 
 Cycle
-PcieLink::transfer(PcieDir dir, std::uint64_t bytes, Cycle earliest)
+PcieLink::transfer(PcieDir dir, std::uint64_t bytes, Cycle earliest,
+                   Cycle *begin_out)
 {
     Cycle &free = dir == PcieDir::HostToDevice ? h2d_free_ : d2h_free_;
     const Cycle begin = earliest > free ? earliest : free;
     const Cycle duration = transferCycles(bytes, dir);
     free = begin + duration;
 
+    std::uint64_t count;
     if (dir == PcieDir::HostToDevice) {
-        ++h2d_count_;
+        count = ++h2d_count_;
         h2d_bytes_ += bytes;
         h2d_busy_ += duration;
     } else {
-        ++d2h_count_;
+        count = ++d2h_count_;
         d2h_bytes_ += bytes;
         d2h_busy_ += duration;
+    }
+    if (begin_out)
+        *begin_out = begin;
+    if (trace_) {
+        trace_->interval(TraceEventType::PcieBusy,
+                         dir == PcieDir::HostToDevice
+                             ? kTraceTrackPcieH2d
+                             : kTraceTrackPcieD2h,
+                         begin, begin + duration, bytes,
+                         static_cast<std::uint32_t>(count));
     }
     return begin + duration;
 }

@@ -17,6 +17,7 @@
 
 #include "src/sim/config.h"
 #include "src/sim/types.h"
+#include "src/trace/trace_sink.h"
 
 namespace bauvm
 {
@@ -30,13 +31,20 @@ class PcieLink
   public:
     explicit PcieLink(const UvmConfig &config);
 
+    /** Enables tracing: every transfer emits one PcieBusy interval
+     *  on its direction's track. nullptr disables. */
+    void setTrace(TraceSink *trace) { trace_ = trace; }
+
     /**
      * Schedules a @p bytes transfer in direction @p dir, requested at
      * cycle @p earliest. Transfers in the same direction are FIFO.
      *
+     * @param[out] begin_out  actual start cycle (after FIFO queueing),
+     *                        when non-null.
      * @return completion cycle of the transfer.
      */
-    Cycle transfer(PcieDir dir, std::uint64_t bytes, Cycle earliest);
+    Cycle transfer(PcieDir dir, std::uint64_t bytes, Cycle earliest,
+                   Cycle *begin_out = nullptr);
 
     /** Earliest cycle at which the given channel is free. */
     Cycle channelFree(PcieDir dir) const
@@ -65,6 +73,7 @@ class PcieLink
     }
 
   private:
+    TraceSink *trace_ = nullptr;
     double h2d_bytes_per_cycle_;
     double d2h_bytes_per_cycle_;
     Cycle h2d_free_ = 0;

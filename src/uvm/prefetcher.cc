@@ -27,9 +27,19 @@ std::vector<PageNum>
 TreePrefetcher::computePrefetches(
     const std::vector<PageNum> &faulted) const
 {
-    return config_.sequential_prefetch_pages > 0
-               ? sequentialPrefetches(faulted)
-               : treePrefetches(faulted);
+    std::vector<PageNum> picked =
+        config_.sequential_prefetch_pages > 0
+            ? sequentialPrefetches(faulted)
+            : treePrefetches(faulted);
+    if (trace_ && clock_ && !picked.empty()) {
+        trace_->instant(TraceEventType::PrefetchIssue,
+                        kTraceTrackRuntime, clock_->now(),
+                        picked.size(),
+                        static_cast<std::uint32_t>(faulted.size()));
+    }
+    BAUVM_DLOG("TreePrefetcher: %zu prefetches for %zu demand pages",
+               picked.size(), faulted.size());
+    return picked;
 }
 
 std::vector<PageNum>

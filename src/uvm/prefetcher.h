@@ -21,7 +21,9 @@
 #include <vector>
 
 #include "src/sim/config.h"
+#include "src/sim/event_queue.h"
 #include "src/sim/types.h"
+#include "src/trace/trace_sink.h"
 
 namespace bauvm
 {
@@ -42,6 +44,15 @@ class TreePrefetcher
      */
     TreePrefetcher(const UvmConfig &config, ResidencyFn resident,
                    ValidFn valid);
+
+    /** Enables tracing: every non-empty prefetch decision emits one
+     *  PrefetchIssue instant stamped with @p clock's current cycle. */
+    void
+    setTrace(TraceSink *trace, const EventQueue *clock)
+    {
+        trace_ = trace;
+        clock_ = clock;
+    }
 
     /**
      * Computes the prefetch set for one batch.
@@ -66,6 +77,8 @@ class TreePrefetcher
     UvmConfig config_;
     ResidencyFn resident_;
     ValidFn valid_;
+    TraceSink *trace_ = nullptr;
+    const EventQueue *clock_ = nullptr;
     std::uint32_t pages_per_block_;
 };
 

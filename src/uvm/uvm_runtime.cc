@@ -25,6 +25,15 @@ UvmRuntime::UvmRuntime(const UvmConfig &config, EventQueue &events,
 }
 
 void
+UvmRuntime::setTrace(TraceSink *trace)
+{
+    trace_ = trace;
+    fault_buffer_.setTrace(trace);
+    pcie_.setTrace(trace);
+    prefetcher_.setTrace(trace, &events_);
+}
+
+void
 UvmRuntime::registerAllocation(VAddr base, std::uint64_t bytes)
 {
     const PageNum first = base / config_.page_bytes;
@@ -115,6 +124,18 @@ UvmRuntime::batchBegin()
         handling_cycles_ +
         usToCycles(config_.fault_handling_per_page_us) *
             current_.fault_pages;
+    if (trace_) {
+        trace_->interval(TraceEventType::FaultHandling,
+                         kTraceTrackRuntime, current_.begin,
+                         current_.begin + handling,
+                         current_.fault_pages);
+    }
+    BAUVM_DLOG("UvmRuntime: batch %llu begins at cycle %llu: %u demand "
+               "+ %u prefetch pages (%u duplicate faults)",
+               static_cast<unsigned long long>(records_.size() + 1),
+               static_cast<unsigned long long>(current_.begin),
+               current_.fault_pages, current_.prefetch_pages,
+               current_.duplicate_faults);
     events_.scheduleAfter(handling, [this] { pumpMigrations(); });
 }
 
@@ -133,8 +154,14 @@ UvmRuntime::launchEviction(Cycle earliest)
     }
     const std::uint64_t bytes = pcie_compression_.compressedBytes(
         victim, config_.page_bytes);
+    Cycle begin = 0;
     const Cycle done = pcie_.transfer(PcieDir::DeviceToHost, bytes,
-                                      earliest);
+                                      earliest, &begin);
+    if (trace_) {
+        trace_->interval(TraceEventType::Eviction, kTraceTrackPcieD2h,
+                         begin, done, victim,
+                         static_cast<std::uint32_t>(bytes));
+    }
     events_.scheduleAt(done,
                        [this, victim] { onEvictionComplete(victim); });
     return true;
@@ -146,10 +173,14 @@ UvmRuntime::scheduleMigration(PageNum vpn)
     manager_.reserveFrame();
     const std::uint64_t bytes = pcie_compression_.compressedBytes(
         vpn, config_.page_bytes);
-    const Cycle start =
-        std::max(events_.now(), pcie_.channelFree(PcieDir::HostToDevice));
+    Cycle start = 0;
     const Cycle done = pcie_.transfer(PcieDir::HostToDevice, bytes,
-                                      events_.now());
+                                      events_.now(), &start);
+    if (trace_) {
+        trace_->interval(TraceEventType::Migration, kTraceTrackPcieH2d,
+                         start, done, vpn,
+                         static_cast<std::uint32_t>(bytes));
+    }
     if (!first_transfer_seen_) {
         first_transfer_seen_ = true;
         current_.first_transfer = start;
@@ -246,6 +277,19 @@ UvmRuntime::batchEnd()
         // handling still consumed runtime time.
         current_.first_transfer = current_.end;
     }
+    if (trace_) {
+        trace_->interval(TraceEventType::BatchWindow,
+                         kTraceTrackRuntime, current_.begin,
+                         current_.end, current_.fault_pages,
+                         current_.prefetch_pages);
+    }
+    BAUVM_DLOG("UvmRuntime: batch %llu ends at cycle %llu "
+               "(handling %llu, processing %llu cycles)",
+               static_cast<unsigned long long>(records_.size() + 1),
+               static_cast<unsigned long long>(current_.end),
+               static_cast<unsigned long long>(current_.handlingTime()),
+               static_cast<unsigned long long>(
+                   current_.processingTime()));
     records_.push_back(current_);
 
     const OversubAdvice advice =

@@ -35,6 +35,7 @@
 #include "src/sim/config.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/types.h"
+#include "src/trace/trace_sink.h"
 #include "src/uvm/compression.h"
 #include "src/uvm/fault_buffer.h"
 #include "src/uvm/gpu_memory_manager.h"
@@ -95,6 +96,14 @@ class UvmRuntime
     /** Installs the advice sink for the TO controller. */
     void setAdviceCallback(AdviceFn cb) { advice_cb_ = std::move(cb); }
 
+    /**
+     * Enables tracing on the runtime and its sub-components (fault
+     * buffer, PCIe link, prefetcher): batches, fault handling,
+     * migrations and evictions all emit timeline events. nullptr
+     * disables; must not change simulated timing either way.
+     */
+    void setTrace(TraceSink *trace);
+
     /** Callback fired after every batch completes (ETC epochs hook). */
     using BatchEndFn = std::function<void(const BatchRecord &)>;
     void setBatchEndCallback(BatchEndFn cb)
@@ -145,6 +154,7 @@ class UvmRuntime
     void batchEnd();
     void maybeProactiveEvict();
 
+    TraceSink *trace_ = nullptr;
     UvmConfig config_;
     EventQueue &events_;
     GpuMemoryManager &manager_;

@@ -252,6 +252,68 @@ TEST(LifetimeTracker, SmallDropWithinThresholdGrows)
     EXPECT_EQ(t.update(2000), OversubAdvice::Grow);
 }
 
+TEST(LifetimeTracker, SingleSampleWindowCarriesSignal)
+{
+    // One eviction is enough to close a window with an average: the
+    // very first window has no history to compare against, so it can
+    // only grow.
+    LifetimeTracker t(1000, 0.2);
+    t.addLifetime(700);
+    EXPECT_EQ(t.update(1000), OversubAdvice::Grow);
+    EXPECT_DOUBLE_EQ(t.runningAverage(), 700.0);
+
+    // A later single-sample window collapsing past the threshold
+    // throttles just like a populated one.
+    t.addLifetime(70);
+    EXPECT_EQ(t.update(2000), OversubAdvice::Throttle);
+}
+
+TEST(LifetimeTracker, MonotoneDecreaseKeepsThrottling)
+{
+    // Lifetimes collapsing by >20% window over window must emit a
+    // throttle every window, not just once: the running average decays
+    // slower than the per-window average, so each new window stays
+    // below the (1 - threshold) bar.
+    LifetimeTracker t(1000, 0.2);
+    Cycle life = 10000;
+    for (int i = 0; i < 4; ++i)
+        t.addLifetime(life);
+    EXPECT_EQ(t.update(1000), OversubAdvice::Grow);
+
+    for (int w = 1; w <= 3; ++w) {
+        life /= 2; // 50% drop each window, far past the 20% threshold
+        for (int i = 0; i < 4; ++i)
+            t.addLifetime(life);
+        EXPECT_EQ(t.update((w + 1) * 1000), OversubAdvice::Throttle)
+            << "window " << w;
+    }
+    EXPECT_EQ(t.throttleSignals(), 3u);
+    EXPECT_EQ(t.growSignals(), 1u);
+}
+
+TEST(LifetimeTracker, RunningAverageIsMeanOfClosedWindowAverages)
+{
+    LifetimeTracker t(1000, 0.2);
+    t.addLifetime(100);
+    t.addLifetime(300); // window 1 average: 200
+    t.update(1000);
+    t.addLifetime(600); // window 2 average: 600
+    t.update(2000);
+    EXPECT_DOUBLE_EQ(t.runningAverage(), 400.0);
+}
+
+TEST(LifetimeTracker, GapWindowsWithNoEvictionsCarryNoSignal)
+{
+    // The clock jumping several windows ahead with an empty window
+    // buffer must not divide by zero or fabricate advice.
+    LifetimeTracker t(1000, 0.2);
+    for (int i = 0; i < 3; ++i)
+        t.addLifetime(500);
+    EXPECT_EQ(t.update(1000), OversubAdvice::Grow);
+    EXPECT_EQ(t.update(9000), OversubAdvice::NoChange);
+    EXPECT_DOUBLE_EQ(t.runningAverage(), 500.0);
+}
+
 TEST(CompressionModel, DisabledIsIdentity)
 {
     CompressionModel c(1.0);
