@@ -11,6 +11,31 @@
 namespace bauvm
 {
 
+namespace
+{
+
+void
+printBenchUsage(std::FILE *out)
+{
+    std::fprintf(
+        out,
+        "options: --scale tiny|small|medium|large --ratio R "
+        "--seed N --csv --jobs N --json PATH --timeout S "
+        "--trace[=DIR] --audit\n"
+        "  --jobs N     sweep worker threads "
+        "(0 = hardware concurrency, default)\n"
+        "  --json PATH  export sweep results as JSON "
+        "('-' = stdout)\n"
+        "  --timeout S  per-cell soft timeout in seconds\n"
+        "  --trace[=DIR] write one chrome://tracing JSON and "
+        "one counter CSV per sweep cell (default dir: "
+        "traces)\n"
+        "  --audit      run every cell under the online model "
+        "auditor (invariant violations fail the cell)\n");
+}
+
+} // namespace
+
 BenchOptions
 parseBenchArgs(int argc, char **argv)
 {
@@ -70,21 +95,13 @@ parseBenchArgs(int argc, char **argv)
             opt.trace_dir = arg.substr(std::strlen("--trace="));
             if (opt.trace_dir.empty())
                 fatal("--trace= requires a directory");
+        } else if (arg == "--audit") {
+            opt.audit = true;
         } else if (arg == "--help" || arg == "-h") {
-            std::printf(
-                "options: --scale tiny|small|medium|large --ratio R "
-                "--seed N --csv --jobs N --json PATH --timeout S "
-                "--trace[=DIR]\n"
-                "  --jobs N     sweep worker threads "
-                "(0 = hardware concurrency, default)\n"
-                "  --json PATH  export sweep results as JSON "
-                "('-' = stdout)\n"
-                "  --timeout S  per-cell soft timeout in seconds\n"
-                "  --trace[=DIR] write one chrome://tracing JSON and "
-                "one counter CSV per sweep cell (default dir: "
-                "traces)\n");
+            printBenchUsage(stdout);
             std::exit(0);
         } else {
+            printBenchUsage(stderr);
             fatal("unknown argument '%s'", arg.c_str());
         }
     }

@@ -41,11 +41,16 @@ struct BenchOptions {
     /** Trace output directory ("" = tracing off). One Chrome-trace
      *  JSON plus one counter CSV is written per sweep cell. */
     std::string trace_dir;
+    /** Run every cell under the online ModelAuditor (src/check). */
+    bool audit = false;
 };
 
 /**
  * Parses --scale tiny|small|medium|large, --csv, --ratio R, --seed N,
- * --jobs N, --json PATH, --timeout S, --trace[=DIR].
+ * --jobs N, --json PATH, --timeout S, --trace[=DIR], --audit.
+ *
+ * An unknown argument prints the usage text to stderr and exits with an
+ * error (fatal(), so a ScopedAbortCapture turns it into SimAbort).
  */
 BenchOptions parseBenchArgs(int argc, char **argv);
 

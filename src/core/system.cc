@@ -5,25 +5,28 @@
 #include <cmath>
 
 #include "src/sim/log.h"
+#include "src/workloads/workload_registry.h"
 
 namespace bauvm
 {
 
 GpuUvmSystem::GpuUvmSystem(const SimConfig &config)
     : config_(config),
-      manager_(config.uvm, /*capacity: set after build*/ 0),
+      trace_(config.trace.enabled
+                 ? std::make_unique<TraceSink>(config.trace.buffer_records)
+                 : nullptr),
+      audit_(config.check.enabled
+                 ? std::make_unique<ModelAuditor>(config.uvm, &events_,
+                                                  trace_.get())
+                 : nullptr),
+      hooks_{trace_.get(), audit_.get(), &events_},
+      manager_(config.uvm, /*capacity: set after build*/ 0, hooks_),
       hierarchy_(config.mem, config.gpu.num_sms, config.uvm.page_bytes,
-                 manager_.pageTable()),
-      runtime_(config.uvm, events_, manager_, hierarchy_)
+                 manager_.pageTable(), hooks_),
+      runtime_(config.uvm, events_, manager_, hierarchy_, hooks_)
 {
-    gpu_ = std::make_unique<Gpu>(config_, events_, hierarchy_, runtime_);
-    if (config_.trace.enabled) {
-        trace_ =
-            std::make_unique<TraceSink>(config_.trace.buffer_records);
-        runtime_.setTrace(trace_.get());
-        manager_.setTrace(trace_.get());
-        gpu_->setTrace(trace_.get());
-    }
+    gpu_ = std::make_unique<Gpu>(config_, events_, hierarchy_, runtime_,
+                                 hooks_);
     if (config_.etc.enabled) {
         etc_ = std::make_unique<EtcFramework>(
             config_.etc, EtcAppClass::Irregular, manager_, hierarchy_,
@@ -38,6 +41,8 @@ RunResult
 GpuUvmSystem::run(Workload &workload, WorkloadScale scale)
 {
     workload.build(scale, config_.seed);
+    if (audit_)
+        audit_->setContext(workload.name());
 
     for (const auto &range : workload.allocator().ranges())
         runtime_.registerAllocation(range.base, range.bytes);
@@ -66,6 +71,8 @@ GpuUvmSystem::run(Workload &workload, WorkloadScale scale)
             for (PageNum vpn = first; vpn <= last; ++vpn) {
                 if (manager_.isResident(vpn))
                     continue;
+                if (audit_)
+                    audit_->onPreload(vpn);
                 manager_.reserveFrame();
                 manager_.commitPage(vpn, events_.now());
             }
@@ -112,6 +119,10 @@ GpuUvmSystem::run(Workload &workload, WorkloadScale scale)
     r.context_switch_cycles = gpu_->vtc().switchCycles();
     r.pcie_h2d_bytes = runtime_.pcie().bytesMoved(PcieDir::HostToDevice);
     r.pcie_d2h_bytes = runtime_.pcie().bytesMoved(PcieDir::DeviceToHost);
+    if (audit_) {
+        audit_->finalize(r, manager_.committedFrames(),
+                         manager_.pageTable().residentPages());
+    }
     return r;
 }
 
@@ -119,7 +130,7 @@ RunResult
 runWorkload(const SimConfig &config, const std::string &name,
             WorkloadScale scale, bool validate)
 {
-    auto workload = makeWorkload(name);
+    auto workload = WorkloadRegistry::instance().create(name);
     GpuUvmSystem system(config);
     RunResult result = system.run(*workload, scale);
     if (validate)

@@ -13,6 +13,8 @@
 #include <memory>
 #include <vector>
 
+#include "src/check/model_auditor.h"
+#include "src/check/sim_hooks.h"
 #include "src/etc/etc_framework.h"
 #include "src/gpu/gpu.h"
 #include "src/mem/memory_hierarchy.h"
@@ -96,10 +98,18 @@ class GpuUvmSystem
      *  false. Owned by the system; valid for its whole lifetime. */
     TraceSink *trace() { return trace_.get(); }
 
+    /** The run's model auditor, or nullptr when config.check.enabled
+     *  is false. Owned by the system; valid for its whole lifetime. */
+    ModelAuditor *audit() { return audit_.get(); }
+
   private:
     SimConfig config_;
     EventQueue events_;
+    // Observers are built first so hooks_ can be handed to every
+    // component at construction (components keep it by value).
     std::unique_ptr<TraceSink> trace_;
+    std::unique_ptr<ModelAuditor> audit_;
+    SimHooks hooks_;
     GpuMemoryManager manager_;
     MemoryHierarchy hierarchy_;
     UvmRuntime runtime_;

@@ -6,27 +6,21 @@ namespace bauvm
 {
 
 Gpu::Gpu(const SimConfig &config, EventQueue &events,
-         MemoryHierarchy &hierarchy, UvmRuntime &runtime)
-    : config_(config), events_(events), vtc_(config.to, sms_),
+         MemoryHierarchy &hierarchy, UvmRuntime &runtime,
+         const SimHooks &hooks)
+    : config_(config), events_(events), vtc_(config.to, sms_, hooks),
       dispatcher_(config.gpu, sms_, vtc_)
 {
     for (std::uint32_t i = 0; i < config.gpu.num_sms; ++i) {
         sms_.push_back(std::make_unique<Sm>(i, config.gpu, events,
-                                            hierarchy, runtime, this));
+                                            hierarchy, runtime, this,
+                                            hooks));
         sms_.back()->setSwitchOnMemoryStall(
             config.to.switch_on_memory_stall);
     }
     vtc_.setTopUpCallback([this] { dispatcher_.topUpExtras(); });
     runtime.setAdviceCallback(
         [this](OversubAdvice advice) { vtc_.onAdvice(advice); });
-}
-
-void
-Gpu::setTrace(TraceSink *trace)
-{
-    for (auto &sm : sms_)
-        sm->setTrace(trace);
-    vtc_.setTrace(trace, &events_);
 }
 
 Cycle

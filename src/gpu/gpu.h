@@ -27,8 +27,10 @@ namespace bauvm
 class Gpu : public SmListener
 {
   public:
+    /** @param hooks observers, fanned out to every SM and the VTC. */
     Gpu(const SimConfig &config, EventQueue &events,
-        MemoryHierarchy &hierarchy, UvmRuntime &runtime);
+        MemoryHierarchy &hierarchy, UvmRuntime &runtime,
+        const SimHooks &hooks = {});
     ~Gpu() override = default;
 
     /**
@@ -36,9 +38,6 @@ class Gpu : public SmListener
      * @return cycles elapsed during the kernel.
      */
     Cycle runKernel(const KernelInfo &kernel);
-
-    /** Enables tracing on every SM and the VT controller. */
-    void setTrace(TraceSink *trace);
 
     VirtualThreadController &vtc() { return vtc_; }
     BlockDispatcher &dispatcher() { return dispatcher_; }

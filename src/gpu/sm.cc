@@ -10,10 +10,10 @@ namespace bauvm
 
 Sm::Sm(std::uint32_t id, const GpuConfig &config, EventQueue &events,
        MemoryHierarchy &hierarchy, UvmRuntime &runtime,
-       SmListener *listener)
+       SmListener *listener, const SimHooks &hooks)
     : id_(id), config_(config), events_(events), hierarchy_(hierarchy),
       runtime_(runtime), listener_(listener),
-      coalescer_(128 /* L1 line */)
+      coalescer_(128 /* L1 line */), hooks_(hooks)
 {
 }
 
@@ -52,9 +52,10 @@ Sm::addBlock(const KernelInfo *kernel, std::uint32_t block_id,
         b.warps[w].prog = kernel->make_program(ctx);
         b.warps[w].st = WarpStatus::Ready;
     }
-    if (trace_) {
-        trace_->instant(TraceEventType::BlockDispatch, traceTrackSm(id_),
-                        events_.now(), block_id, active ? 1 : 0);
+    if (hooks_.trace) {
+        hooks_.trace->instant(TraceEventType::BlockDispatch,
+                              traceTrackSm(id_), events_.now(),
+                              block_id, active ? 1 : 0);
     }
     traceOccupancy();
     if (active) {
@@ -71,10 +72,10 @@ Sm::activateBlock(std::uint32_t slot, Cycle delay)
     if (b.active || b.activating || b.finished)
         panic("Sm: bad activateBlock state");
     b.activating = true;
-    if (trace_) {
-        trace_->interval(TraceEventType::CtxSwitchIn, traceTrackSm(id_),
-                         events_.now(), events_.now() + delay,
-                         b.block_id, slot);
+    if (hooks_.trace) {
+        hooks_.trace->interval(TraceEventType::CtxSwitchIn,
+                               traceTrackSm(id_), events_.now(),
+                               events_.now() + delay, b.block_id, slot);
     }
     events_.scheduleAfter(delay, [this, slot] {
         Block &blk = blocks_[slot];
@@ -99,9 +100,10 @@ Sm::deactivateBlock(std::uint32_t slot)
     if (!b.active)
         panic("Sm: deactivating inactive block");
     b.active = false;
-    if (trace_) {
-        trace_->instant(TraceEventType::CtxSwitchOut, traceTrackSm(id_),
-                        events_.now(), b.block_id, slot);
+    if (hooks_.trace) {
+        hooks_.trace->instant(TraceEventType::CtxSwitchOut,
+                              traceTrackSm(id_), events_.now(),
+                              b.block_id, slot);
     }
     traceOccupancy();
 }
@@ -341,9 +343,9 @@ Sm::execMemoryOp(std::uint32_t slot, std::uint32_t warp,
                id_, warp, b.block_id, fault_pages.size(),
                static_cast<unsigned long long>(issue));
     for (PageNum vpn : fault_pages) {
-        if (trace_) {
-            trace_->instant(TraceEventType::PageFault,
-                            traceTrackSm(id_), issue, vpn, warp);
+        if (hooks_.trace) {
+            hooks_.trace->instant(TraceEventType::PageFault,
+                                  traceTrackSm(id_), issue, vpn, warp);
         }
         runtime_.onPageFault(vpn, [this, slot, warp](Cycle) {
             onFaultResolved(slot, warp);
@@ -408,10 +410,10 @@ Sm::finishWarp(std::uint32_t slot, std::uint32_t warp)
     if (b.liveWarps() == 0) {
         b.finished = true;
         b.active = false;
-        if (trace_) {
-            trace_->instant(TraceEventType::BlockFinish,
-                            traceTrackSm(id_), events_.now(),
-                            b.block_id, slot);
+        if (hooks_.trace) {
+            hooks_.trace->instant(TraceEventType::BlockFinish,
+                                  traceTrackSm(id_), events_.now(),
+                                  b.block_id, slot);
         }
         traceOccupancy();
         if (listener_)
@@ -442,11 +444,12 @@ Sm::maybeReleaseBarrier(std::uint32_t slot)
 void
 Sm::traceOccupancy()
 {
-    if (!trace_)
+    if (!hooks_.trace)
         return;
-    trace_->counter(TraceEventType::SmOccupancy, traceTrackSm(id_),
-                    events_.now(), activeBlocks(),
-                    static_cast<std::uint32_t>(residentBlocks()));
+    hooks_.trace->counter(TraceEventType::SmOccupancy,
+                          traceTrackSm(id_), events_.now(),
+                          activeBlocks(),
+                          static_cast<std::uint32_t>(residentBlocks()));
 }
 
 void

@@ -18,6 +18,7 @@
 #include <deque>
 #include <vector>
 
+#include "src/check/sim_hooks.h"
 #include "src/gpu/coalescer.h"
 #include "src/gpu/warp_program.h"
 #include "src/mem/memory_hierarchy.h"
@@ -48,9 +49,11 @@ class SmListener
 class Sm
 {
   public:
+    /** @param hooks observers: faults, dispatches, context switches
+     *  and occupancy samples land on this SM's own trace track. */
     Sm(std::uint32_t id, const GpuConfig &config, EventQueue &events,
        MemoryHierarchy &hierarchy, UvmRuntime &runtime,
-       SmListener *listener);
+       SmListener *listener, const SimHooks &hooks = {});
 
     /**
      * Makes a grid block resident on this SM.
@@ -106,10 +109,6 @@ class Sm
     {
         switch_on_memory_stall_ = on;
     }
-
-    /** Enables tracing on this SM's own track (faults, dispatches,
-     *  context switches, occupancy samples). nullptr disables. */
-    void setTrace(TraceSink *trace) { trace_ = trace; }
 
     std::uint64_t issuedInstructions() const { return issued_; }
     std::uint64_t memoryInstructions() const
@@ -183,7 +182,7 @@ class Sm
     UvmRuntime &runtime_;
     SmListener *listener_;
     Coalescer coalescer_;
-    TraceSink *trace_ = nullptr;
+    SimHooks hooks_;
 
     bool switch_on_memory_stall_ = false;
     std::vector<Block> blocks_;

@@ -6,8 +6,9 @@ namespace bauvm
 {
 
 VirtualThreadController::VirtualThreadController(
-    const ToConfig &config, std::vector<std::unique_ptr<Sm>> &sms)
-    : config_(config), sms_(sms),
+    const ToConfig &config, std::vector<std::unique_ptr<Sm>> &sms,
+    const SimHooks &hooks)
+    : config_(config), sms_(sms), hooks_(hooks),
       allowed_extra_(config.enabled ? config.initial_extra_blocks : 0)
 {
 }
@@ -118,11 +119,11 @@ VirtualThreadController::onAdvice(OversubAdvice advice)
       case OversubAdvice::NoChange:
         break;
     }
-    if (trace_ && clock_ && allowed_extra_ != before) {
-        trace_->counter(TraceEventType::OversubDegree,
-                        kTraceTrackRuntime, clock_->now(),
-                        allowed_extra_,
-                        static_cast<std::uint32_t>(advice));
+    if (hooks_.trace && hooks_.clock && allowed_extra_ != before) {
+        hooks_.trace->counter(TraceEventType::OversubDegree,
+                              kTraceTrackRuntime, hooks_.clock->now(),
+                              allowed_extra_,
+                              static_cast<std::uint32_t>(advice));
     }
 }
 

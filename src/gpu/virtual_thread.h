@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/check/sim_hooks.h"
 #include "src/gpu/occupancy.h"
 #include "src/gpu/sm.h"
 #include "src/gpu/warp_program.h"
@@ -41,8 +42,11 @@ namespace bauvm
 class VirtualThreadController
 {
   public:
+    /** @param hooks observers: oversubscription-degree changes emit
+     *  counter samples stamped with the hook clock's current cycle. */
     VirtualThreadController(const ToConfig &config,
-                            std::vector<std::unique_ptr<Sm>> &sms);
+                            std::vector<std::unique_ptr<Sm>> &sms,
+                            const SimHooks &hooks = {});
 
     /** Installs the kernel whose context size prices the switches. */
     void setKernel(const KernelInfo *kernel);
@@ -62,14 +66,6 @@ class VirtualThreadController
 
     /** Premature-eviction advice from the UVM runtime, once per batch. */
     void onAdvice(OversubAdvice advice);
-
-    /** Enables tracing: oversubscription-degree changes emit counter
-     *  samples stamped with @p clock's current cycle. */
-    void setTrace(TraceSink *trace, const EventQueue *clock)
-    {
-        trace_ = trace;
-        clock_ = clock;
-    }
 
     bool enabled() const { return config_.enabled; }
 
@@ -94,8 +90,7 @@ class VirtualThreadController
 
     ToConfig config_;
     std::vector<std::unique_ptr<Sm>> &sms_;
-    TraceSink *trace_ = nullptr;
-    const EventQueue *clock_ = nullptr;
+    SimHooks hooks_;
     const KernelInfo *kernel_ = nullptr;
     std::function<void()> top_up_;
     /** Consecutive healthy windows required before adding a block. */

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "src/check/model_auditor.h"
 #include "src/sim/log.h"
 
 namespace bauvm
@@ -10,8 +11,10 @@ namespace bauvm
 MemoryHierarchy::MemoryHierarchy(const MemConfig &config,
                                  std::uint32_t num_sms,
                                  std::uint64_t page_bytes,
-                                 const PageTable &page_table)
-    : config_(config), page_bytes_(page_bytes), page_table_(page_table),
+                                 const PageTable &page_table,
+                                 const SimHooks &hooks)
+    : hooks_(hooks), config_(config), page_bytes_(page_bytes),
+      page_table_(page_table),
       l2_tlb_(std::make_unique<Tlb>(config.l2_tlb, "l2tlb")),
       l2_cache_(std::make_unique<Cache>(config.l2, "l2")),
       walker_(config), dram_(config), mshrs_(num_sms)
@@ -42,18 +45,32 @@ MemoryHierarchy::translate(std::uint32_t sm, PageNum vpn, Cycle start)
 {
     Tlb &l1 = *l1_tlbs_[sm];
     Cycle t = start + l1.hitLatency();
-    if (l1.lookup(vpn))
+    if (l1.lookup(vpn)) {
+        if (hooks_.audit)
+            hooks_.audit->onTranslationHit(vpn);
         return {false, t};
+    }
 
     t += l2_tlb_->hitLatency();
     if (l2_tlb_->lookup(vpn)) {
+        if (hooks_.audit) {
+            hooks_.audit->onTranslationHit(vpn);
+            hooks_.audit->onTranslationInsert(vpn);
+        }
         l1.insert(vpn);
         return {false, t};
     }
 
     const Cycle walk_done = walker_.walk(vpn, t);
-    if (!page_table_.isResident(vpn))
+    const bool fault = !page_table_.isResident(vpn);
+    if (hooks_.audit)
+        hooks_.audit->onWalkResolved(vpn, walk_done, fault);
+    if (fault)
         return {true, walk_done};
+    if (hooks_.audit) {
+        hooks_.audit->onTranslationInsert(vpn); // L2 TLB fill
+        hooks_.audit->onTranslationInsert(vpn); // L1 TLB fill
+    }
     l2_tlb_->insert(vpn);
     l1.insert(vpn);
     return {false, walk_done};
@@ -105,6 +122,8 @@ MemoryHierarchy::invalidatePage(PageNum vpn)
     for (auto &tlb : l1_tlbs_)
         tlb->invalidate(vpn);
     l2_tlb_->invalidate(vpn);
+    if (hooks_.audit)
+        hooks_.audit->onTranslationInvalidate(vpn);
 }
 
 } // namespace bauvm

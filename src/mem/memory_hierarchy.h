@@ -16,6 +16,7 @@
 #include <queue>
 #include <vector>
 
+#include "src/check/sim_hooks.h"
 #include "src/mem/cache.h"
 #include "src/mem/dram.h"
 #include "src/mem/page_table.h"
@@ -47,9 +48,13 @@ class MemoryHierarchy
      * @param page_bytes  UVM page size, used to split addresses.
      * @param page_table  the GPU page table holding residency (owned by
      *                    the UVM memory manager; must outlive this).
+     * @param hooks       observers: the auditor cross-checks every TLB
+     *                    hit, TLB fill, shootdown and walk outcome
+     *                    against its shadow residency.
      */
     MemoryHierarchy(const MemConfig &config, std::uint32_t num_sms,
-                    std::uint64_t page_bytes, const PageTable &page_table);
+                    std::uint64_t page_bytes, const PageTable &page_table,
+                    const SimHooks &hooks = {});
 
     /**
      * Performs one line-granular transaction for SM @p sm.
@@ -94,6 +99,7 @@ class MemoryHierarchy
     /** Line key folding the page version in for lazy invalidation. */
     std::uint64_t lineKey(VAddr vaddr) const;
 
+    SimHooks hooks_;
     MemConfig config_;
     std::uint64_t page_bytes_;
     const PageTable &page_table_;

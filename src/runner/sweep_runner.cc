@@ -12,6 +12,7 @@
 #include "src/runner/thread_pool.h"
 #include "src/sim/log.h"
 #include "src/trace/trace_export.h"
+#include "src/workloads/workload_registry.h"
 
 namespace bauvm
 {
@@ -73,7 +74,8 @@ executeJob(const SweepJob &job, const SweepSpec &spec)
             spec.variants[job.variant_index].mutate)
             spec.variants[job.variant_index].mutate(config);
         config.trace.enabled = tracing;
-        auto workload = makeWorkload(job.workload);
+        config.check.enabled = spec.opt.audit;
+        auto workload = WorkloadRegistry::instance().create(job.workload);
         system = std::make_unique<GpuUvmSystem>(config);
         out.result = system->run(*workload, spec.opt.scale);
         out.ok = true;

@@ -123,6 +123,14 @@ struct TraceConfig {
     std::uint64_t buffer_records = 1u << 20;
 };
 
+/** Online model auditing (src/check) parameters. */
+struct CheckConfig {
+    /** Master switch: when false no ModelAuditor is built and every
+     *  hook site reduces to one null-pointer branch, exactly like
+     *  disabled tracing. */
+    bool enabled = false;
+};
+
 /** ETC baseline (Li et al., ASPLOS'19) parameters. */
 struct EtcConfig {
     bool enabled = false;
@@ -156,6 +164,7 @@ struct SimConfig {
     ToConfig to;
     EtcConfig etc;
     TraceConfig trace;
+    CheckConfig check;
     /**
      * GPU memory capacity as a fraction of the workload footprint
      * (the paper's oversubscription ratio). 1.0 means everything fits;

@@ -1,11 +1,13 @@
 #include "src/uvm/fault_buffer.h"
 
+#include "src/check/model_auditor.h"
 #include "src/sim/log.h"
 
 namespace bauvm
 {
 
-FaultBuffer::FaultBuffer(std::uint32_t capacity) : capacity_(capacity)
+FaultBuffer::FaultBuffer(std::uint32_t capacity, const SimHooks &hooks)
+    : hooks_(hooks), capacity_(capacity)
 {
     if (capacity == 0)
         fatal("FaultBuffer: capacity must be positive");
@@ -18,6 +20,10 @@ FaultBuffer::insert(PageNum vpn, Cycle now)
     auto it = index_.find(vpn);
     if (it != index_.end()) {
         ++order_[it->second].duplicates;
+        if (hooks_.audit) {
+            hooks_.audit->onFaultBuffered(vpn, now, order_.size(),
+                                          overflow_.size());
+        }
         return;
     }
     if (order_.size() >= capacity_) {
@@ -26,24 +32,37 @@ FaultBuffer::insert(PageNum vpn, Cycle now)
         for (auto &rec : overflow_) {
             if (rec.vpn == vpn) {
                 ++rec.duplicates;
+                if (hooks_.audit) {
+                    hooks_.audit->onFaultBuffered(
+                        vpn, now, order_.size(), overflow_.size());
+                }
                 return;
             }
         }
         overflow_.push_back(FaultRecord{vpn, now, 1});
-        if (trace_) {
-            trace_->counter(
+        if (hooks_.trace) {
+            hooks_.trace->counter(
                 TraceEventType::FaultBufferDepth, kTraceTrackRuntime,
                 now, order_.size(),
                 static_cast<std::uint32_t>(overflow_.size()));
+        }
+        if (hooks_.audit) {
+            hooks_.audit->onFaultBuffered(vpn, now, order_.size(),
+                                          overflow_.size());
         }
         return;
     }
     index_.emplace(vpn, order_.size());
     order_.push_back(FaultRecord{vpn, now, 1});
-    if (trace_) {
-        trace_->counter(TraceEventType::FaultBufferDepth,
-                        kTraceTrackRuntime, now, order_.size(),
-                        static_cast<std::uint32_t>(overflow_.size()));
+    if (hooks_.trace) {
+        hooks_.trace->counter(TraceEventType::FaultBufferDepth,
+                              kTraceTrackRuntime, now, order_.size(),
+                              static_cast<std::uint32_t>(
+                                  overflow_.size()));
+    }
+    if (hooks_.audit) {
+        hooks_.audit->onFaultBuffered(vpn, now, order_.size(),
+                                      overflow_.size());
     }
 }
 
@@ -58,6 +77,10 @@ FaultBuffer::drain()
         index_.emplace(overflow_.front().vpn, order_.size());
         order_.push_back(overflow_.front());
         overflow_.pop_front();
+    }
+    if (hooks_.audit) {
+        hooks_.audit->onFaultDrained(out.size(), order_.size(),
+                                     overflow_.size());
     }
     return out;
 }

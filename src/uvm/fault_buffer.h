@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/check/sim_hooks.h"
 #include "src/sim/types.h"
 #include "src/trace/trace_sink.h"
 
@@ -38,11 +39,13 @@ struct FaultRecord {
 class FaultBuffer
 {
   public:
-    /** @param capacity maximum distinct-page entries held. */
-    explicit FaultBuffer(std::uint32_t capacity);
-
-    /** Enables tracing: inserts emit occupancy counter samples. */
-    void setTrace(TraceSink *trace) { trace_ = trace; }
+    /**
+     * @param capacity maximum distinct-page entries held.
+     * @param hooks    observers (inserts emit occupancy counter
+     *                 samples; the auditor replays the accounting).
+     */
+    explicit FaultBuffer(std::uint32_t capacity,
+                         const SimHooks &hooks = {});
 
     /**
      * Records a fault on @p vpn at cycle @p now.
@@ -73,7 +76,7 @@ class FaultBuffer
     std::uint64_t totalFaults() const { return total_faults_; }
 
   private:
-    TraceSink *trace_ = nullptr;
+    SimHooks hooks_;
     std::uint32_t capacity_;
     std::vector<FaultRecord> order_;  //!< insertion-ordered entries
     std::unordered_map<PageNum, std::size_t> index_; //!< vpn -> order_ idx

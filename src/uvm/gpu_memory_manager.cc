@@ -2,16 +2,18 @@
 
 #include <algorithm>
 
+#include "src/check/model_auditor.h"
 #include "src/sim/log.h"
 
 namespace bauvm
 {
 
 GpuMemoryManager::GpuMemoryManager(const UvmConfig &config,
-                                   std::uint64_t capacity_pages)
-    : config_(config), capacity_pages_(capacity_pages),
+                                   std::uint64_t capacity_pages,
+                                   const SimHooks &hooks)
+    : hooks_(hooks), config_(config), capacity_pages_(capacity_pages),
       lifetime_(config.lifetime_window_cycles,
-                config.lifetime_drop_threshold)
+                config.lifetime_drop_threshold, hooks)
 {
     if (config_.root_chunk_pages == 0)
         fatal("GpuMemoryManager: root_chunk_pages must be positive");
@@ -26,6 +28,8 @@ GpuMemoryManager::setCapacityPages(std::uint64_t pages)
               static_cast<unsigned long long>(committed_));
     }
     capacity_pages_ = pages;
+    if (hooks_.audit)
+        hooks_.audit->onCapacitySet(pages);
 }
 
 void
@@ -35,16 +39,18 @@ GpuMemoryManager::reserveFrame()
         panic("GpuMemoryManager: reserveFrame with no free frame");
     if (!unlimited())
         ++committed_;
+    if (hooks_.audit)
+        hooks_.audit->onFrameReserved(committed_);
 }
 
 void
 GpuMemoryManager::commitPage(PageNum vpn, Cycle now)
 {
     ++migrations_;
-    if (trace_) {
-        trace_->counter(TraceEventType::CommittedFrames,
-                        kTraceTrackMemory, now, committed_,
-                        static_cast<std::uint32_t>(capacity_pages_));
+    if (hooks_.trace) {
+        hooks_.trace->counter(
+            TraceEventType::CommittedFrames, kTraceTrackMemory, now,
+            committed_, static_cast<std::uint32_t>(capacity_pages_));
     }
     page_table_.map(vpn, vpn /* identity frames: timing-only model */);
     alloc_time_[vpn] = now;
@@ -65,6 +71,9 @@ GpuMemoryManager::commitPage(PageNum vpn, Cycle now)
         lru_.erase(pos->second);
     lru_.push_back(chunk);
     lru_pos_[chunk] = std::prev(lru_.end());
+
+    if (hooks_.audit)
+        hooks_.audit->onPageCommitted(vpn, now, committed_);
 }
 
 bool
@@ -103,6 +112,9 @@ GpuMemoryManager::beginEviction(PageNum *vpn, Cycle now)
     lifetime_.addLifetime(now - at->second);
     alloc_time_.erase(at);
 
+    if (hooks_.audit)
+        hooks_.audit->onEvictionBegin(victim, now, committed_);
+
     *vpn = victim;
     return true;
 }
@@ -110,12 +122,13 @@ GpuMemoryManager::beginEviction(PageNum *vpn, Cycle now)
 void
 GpuMemoryManager::completeEviction(PageNum vpn)
 {
-    (void)vpn;
     if (!unlimited()) {
         if (committed_ == 0)
             panic("GpuMemoryManager: completeEviction underflow");
         --committed_;
     }
+    if (hooks_.audit)
+        hooks_.audit->onEvictionComplete(vpn, committed_);
 }
 
 } // namespace bauvm

@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/check/sim_hooks.h"
 #include "src/mem/page_table.h"
 #include "src/sim/config.h"
 #include "src/sim/types.h"
@@ -36,19 +37,15 @@ class GpuMemoryManager
      * @param config          UVM parameters (page size, chunking,
      *                        lifetime window).
      * @param capacity_pages  device-memory size in pages; 0 = unlimited.
+     * @param hooks           observers for this manager and its
+     *                        lifetime tracker: commits emit
+     *                        committed-frames counter samples, and the
+     *                        auditor mirrors every residency and
+     *                        occupancy transition.
      */
     GpuMemoryManager(const UvmConfig &config,
-                     std::uint64_t capacity_pages);
-
-    /** Enables tracing on this manager and its lifetime tracker:
-     *  commits and eviction starts emit committed-frames counter
-     *  samples on the memory track. nullptr disables. */
-    void
-    setTrace(TraceSink *trace)
-    {
-        trace_ = trace;
-        lifetime_.setTrace(trace);
-    }
+                     std::uint64_t capacity_pages,
+                     const SimHooks &hooks = {});
 
     /** The GPU page table (shared with the MemoryHierarchy). */
     PageTable &pageTable() { return page_table_; }
@@ -134,7 +131,7 @@ class GpuMemoryManager
         return vpn / config_.root_chunk_pages;
     }
 
-    TraceSink *trace_ = nullptr;
+    SimHooks hooks_;
     UvmConfig config_;
     std::uint64_t capacity_pages_;
     std::uint64_t committed_ = 0;

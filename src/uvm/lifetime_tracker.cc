@@ -5,9 +5,11 @@
 namespace bauvm
 {
 
-LifetimeTracker::LifetimeTracker(Cycle window_cycles, double drop_threshold)
-    : window_cycles_(window_cycles), drop_threshold_(drop_threshold),
-      window_end_(window_cycles)
+LifetimeTracker::LifetimeTracker(Cycle window_cycles,
+                                 double drop_threshold,
+                                 const SimHooks &hooks)
+    : hooks_(hooks), window_cycles_(window_cycles),
+      drop_threshold_(drop_threshold), window_end_(window_cycles)
 {
     if (window_cycles == 0)
         fatal("LifetimeTracker: zero window");
@@ -45,8 +47,8 @@ LifetimeTracker::update(Cycle now)
             running_sum_ += avg;
             ++closed_windows_;
             window_.reset();
-            if (trace_) {
-                trace_->instant(
+            if (hooks_.trace) {
+                hooks_.trace->instant(
                     TraceEventType::LifetimeWindow, kTraceTrackMemory,
                     window_end_, static_cast<std::uint64_t>(avg),
                     static_cast<std::uint32_t>(advice));

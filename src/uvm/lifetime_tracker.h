@@ -17,6 +17,7 @@
 
 #include <cstdint>
 
+#include "src/check/sim_hooks.h"
 #include "src/sim/config.h"
 #include "src/sim/stats.h"
 #include "src/sim/types.h"
@@ -36,11 +37,10 @@ enum class OversubAdvice {
 class LifetimeTracker
 {
   public:
-    LifetimeTracker(Cycle window_cycles, double drop_threshold);
-
-    /** Enables tracing: each closed window emits a LifetimeWindow
-     *  instant with its average lifetime and the resulting advice. */
-    void setTrace(TraceSink *trace) { trace_ = trace; }
+    /** @param hooks observers: each closed window emits a
+     *  LifetimeWindow instant with its average lifetime and advice. */
+    LifetimeTracker(Cycle window_cycles, double drop_threshold,
+                    const SimHooks &hooks = {});
 
     /** Records one page eviction whose page lived @p lifetime cycles. */
     void addLifetime(Cycle lifetime);
@@ -66,7 +66,7 @@ class LifetimeTracker
     const RunningStat &lifetimes() const { return all_lifetimes_; }
 
   private:
-    TraceSink *trace_ = nullptr;
+    SimHooks hooks_;
     Cycle window_cycles_;
     double drop_threshold_;
     Cycle window_end_;

@@ -1,12 +1,14 @@
 #include "src/uvm/pcie_link.h"
 
+#include "src/check/model_auditor.h"
 #include "src/sim/log.h"
 
 namespace bauvm
 {
 
-PcieLink::PcieLink(const UvmConfig &config)
-    : h2d_bytes_per_cycle_(config.pcie_gbps), // GB/s at 1 GHz == B/cyc
+PcieLink::PcieLink(const UvmConfig &config, const SimHooks &hooks)
+    : hooks_(hooks),
+      h2d_bytes_per_cycle_(config.pcie_gbps), // GB/s at 1 GHz == B/cyc
       d2h_bytes_per_cycle_(config.pcie_d2h_gbps > 0.0
                                ? config.pcie_d2h_gbps
                                : config.pcie_gbps)
@@ -47,13 +49,17 @@ PcieLink::transfer(PcieDir dir, std::uint64_t bytes, Cycle earliest,
     }
     if (begin_out)
         *begin_out = begin;
-    if (trace_) {
-        trace_->interval(TraceEventType::PcieBusy,
-                         dir == PcieDir::HostToDevice
-                             ? kTraceTrackPcieH2d
-                             : kTraceTrackPcieD2h,
-                         begin, begin + duration, bytes,
-                         static_cast<std::uint32_t>(count));
+    if (hooks_.trace) {
+        hooks_.trace->interval(TraceEventType::PcieBusy,
+                               dir == PcieDir::HostToDevice
+                                   ? kTraceTrackPcieH2d
+                                   : kTraceTrackPcieD2h,
+                               begin, begin + duration, bytes,
+                               static_cast<std::uint32_t>(count));
+    }
+    if (hooks_.audit) {
+        hooks_.audit->onPcieTransfer(dir == PcieDir::HostToDevice,
+                                     bytes, begin, begin + duration);
     }
     return begin + duration;
 }

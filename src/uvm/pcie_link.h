@@ -15,6 +15,7 @@
 
 #include <cstdint>
 
+#include "src/check/sim_hooks.h"
 #include "src/sim/config.h"
 #include "src/sim/types.h"
 #include "src/trace/trace_sink.h"
@@ -29,11 +30,11 @@ enum class PcieDir { HostToDevice, DeviceToHost };
 class PcieLink
 {
   public:
-    explicit PcieLink(const UvmConfig &config);
-
-    /** Enables tracing: every transfer emits one PcieBusy interval
-     *  on its direction's track. nullptr disables. */
-    void setTrace(TraceSink *trace) { trace_ = trace; }
+    /** @param hooks observers: every transfer emits one PcieBusy
+     *  interval on its direction's track and feeds the auditor's
+     *  per-channel byte tally. */
+    explicit PcieLink(const UvmConfig &config,
+                      const SimHooks &hooks = {});
 
     /**
      * Schedules a @p bytes transfer in direction @p dir, requested at
@@ -73,7 +74,7 @@ class PcieLink
     }
 
   private:
-    TraceSink *trace_ = nullptr;
+    SimHooks hooks_;
     double h2d_bytes_per_cycle_;
     double d2h_bytes_per_cycle_;
     Cycle h2d_free_ = 0;

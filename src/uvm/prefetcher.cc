@@ -10,9 +10,9 @@ namespace bauvm
 {
 
 TreePrefetcher::TreePrefetcher(const UvmConfig &config, ResidencyFn resident,
-                               ValidFn valid)
+                               ValidFn valid, const SimHooks &hooks)
     : config_(config), resident_(std::move(resident)),
-      valid_(std::move(valid))
+      valid_(std::move(valid)), hooks_(hooks)
 {
     pages_per_block_ = static_cast<std::uint32_t>(
         config.va_block_bytes / config.page_bytes);
@@ -31,11 +31,12 @@ TreePrefetcher::computePrefetches(
         config_.sequential_prefetch_pages > 0
             ? sequentialPrefetches(faulted)
             : treePrefetches(faulted);
-    if (trace_ && clock_ && !picked.empty()) {
-        trace_->instant(TraceEventType::PrefetchIssue,
-                        kTraceTrackRuntime, clock_->now(),
-                        picked.size(),
-                        static_cast<std::uint32_t>(faulted.size()));
+    if (hooks_.trace && hooks_.clock && !picked.empty()) {
+        hooks_.trace->instant(TraceEventType::PrefetchIssue,
+                              kTraceTrackRuntime, hooks_.clock->now(),
+                              picked.size(),
+                              static_cast<std::uint32_t>(
+                                  faulted.size()));
     }
     BAUVM_DLOG("TreePrefetcher: %zu prefetches for %zu demand pages",
                picked.size(), faulted.size());

@@ -20,6 +20,7 @@
 #include <functional>
 #include <vector>
 
+#include "src/check/sim_hooks.h"
 #include "src/sim/config.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/types.h"
@@ -41,18 +42,12 @@ class TreePrefetcher
      *                  is getting) a GPU frame.
      * @param valid     callback telling whether a page belongs to an
      *                  actual allocation (never prefetch holes).
+     * @param hooks     observers: every non-empty prefetch decision
+     *                  emits one PrefetchIssue instant stamped with
+     *                  the hook clock's current cycle.
      */
     TreePrefetcher(const UvmConfig &config, ResidencyFn resident,
-                   ValidFn valid);
-
-    /** Enables tracing: every non-empty prefetch decision emits one
-     *  PrefetchIssue instant stamped with @p clock's current cycle. */
-    void
-    setTrace(TraceSink *trace, const EventQueue *clock)
-    {
-        trace_ = trace;
-        clock_ = clock;
-    }
+                   ValidFn valid, const SimHooks &hooks = {});
 
     /**
      * Computes the prefetch set for one batch.
@@ -77,8 +72,7 @@ class TreePrefetcher
     UvmConfig config_;
     ResidencyFn resident_;
     ValidFn valid_;
-    TraceSink *trace_ = nullptr;
-    const EventQueue *clock_ = nullptr;
+    SimHooks hooks_;
     std::uint32_t pages_per_block_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/check/model_auditor.h"
 #include "src/sim/log.h"
 
 namespace bauvm
@@ -9,28 +10,22 @@ namespace bauvm
 
 UvmRuntime::UvmRuntime(const UvmConfig &config, EventQueue &events,
                        GpuMemoryManager &manager,
-                       MemoryHierarchy &hierarchy)
-    : config_(config), events_(events), manager_(manager),
-      hierarchy_(hierarchy), fault_buffer_(config.fault_buffer_entries),
-      pcie_(config), pcie_compression_(config.pcie_compression_ratio),
+                       MemoryHierarchy &hierarchy, const SimHooks &hooks)
+    : hooks_(hooks), config_(config), events_(events), manager_(manager),
+      hierarchy_(hierarchy),
+      fault_buffer_(config.fault_buffer_entries, hooks),
+      pcie_(config, hooks),
+      pcie_compression_(config.pcie_compression_ratio),
       prefetcher_(
           config,
           [this](PageNum vpn) {
               return manager_.isResident(vpn) || in_flight_.count(vpn);
           },
-          [this](PageNum vpn) { return valid_pages_.count(vpn) > 0; }),
+          [this](PageNum vpn) { return valid_pages_.count(vpn) > 0; },
+          hooks),
       handling_cycles_(usToCycles(config.fault_handling_us)),
       interrupt_cycles_(usToCycles(config.interrupt_latency_us))
 {
-}
-
-void
-UvmRuntime::setTrace(TraceSink *trace)
-{
-    trace_ = trace;
-    fault_buffer_.setTrace(trace);
-    pcie_.setTrace(trace);
-    prefetcher_.setTrace(trace, &events_);
 }
 
 void
@@ -60,6 +55,8 @@ UvmRuntime::onPageFault(PageNum vpn, WakeFn waiter)
     fault_buffer_.insert(vpn, now);
     if (state_ == State::Idle) {
         state_ = State::InterruptPending;
+        if (hooks_.audit)
+            hooks_.audit->onInterruptRaised(now);
         events_.scheduleAfter(interrupt_cycles_, [this] { batchBegin(); });
     }
 }
@@ -67,6 +64,12 @@ UvmRuntime::onPageFault(PageNum vpn, WakeFn waiter)
 void
 UvmRuntime::batchBegin()
 {
+    // Chained: entered straight from batchEnd() with no interrupt
+    // round trip (state still BatchActive at the call).
+    if (hooks_.audit) {
+        hooks_.audit->onBatchBegin(events_.now(),
+                                   state_ == State::BatchActive);
+    }
     state_ = State::BatchActive;
     current_ = BatchRecord{};
     current_.begin = events_.now();
@@ -79,6 +82,8 @@ UvmRuntime::batchBegin()
     // so the first migration never waits on an eviction.
     if (config_.unobtrusive_eviction && !config_.ideal_eviction &&
         manager_.atCapacity() && evictions_in_flight_ == 0) {
+        if (hooks_.audit)
+            hooks_.audit->onPreemptiveEviction(events_.now());
         launchEviction(events_.now());
     }
 
@@ -124,11 +129,11 @@ UvmRuntime::batchBegin()
         handling_cycles_ +
         usToCycles(config_.fault_handling_per_page_us) *
             current_.fault_pages;
-    if (trace_) {
-        trace_->interval(TraceEventType::FaultHandling,
-                         kTraceTrackRuntime, current_.begin,
-                         current_.begin + handling,
-                         current_.fault_pages);
+    if (hooks_.trace) {
+        hooks_.trace->interval(TraceEventType::FaultHandling,
+                               kTraceTrackRuntime, current_.begin,
+                               current_.begin + handling,
+                               current_.fault_pages);
     }
     BAUVM_DLOG("UvmRuntime: batch %llu begins at cycle %llu: %u demand "
                "+ %u prefetch pages (%u duplicate faults)",
@@ -157,11 +162,13 @@ UvmRuntime::launchEviction(Cycle earliest)
     Cycle begin = 0;
     const Cycle done = pcie_.transfer(PcieDir::DeviceToHost, bytes,
                                       earliest, &begin);
-    if (trace_) {
-        trace_->interval(TraceEventType::Eviction, kTraceTrackPcieD2h,
-                         begin, done, victim,
-                         static_cast<std::uint32_t>(bytes));
+    if (hooks_.trace) {
+        hooks_.trace->interval(TraceEventType::Eviction,
+                               kTraceTrackPcieD2h, begin, done, victim,
+                               static_cast<std::uint32_t>(bytes));
     }
+    if (hooks_.audit)
+        hooks_.audit->onEvictionTransfer(victim, begin, done, bytes);
     events_.scheduleAt(done,
                        [this, victim] { onEvictionComplete(victim); });
     return true;
@@ -176,10 +183,14 @@ UvmRuntime::scheduleMigration(PageNum vpn)
     Cycle start = 0;
     const Cycle done = pcie_.transfer(PcieDir::HostToDevice, bytes,
                                       events_.now(), &start);
-    if (trace_) {
-        trace_->interval(TraceEventType::Migration, kTraceTrackPcieH2d,
-                         start, done, vpn,
-                         static_cast<std::uint32_t>(bytes));
+    if (hooks_.trace) {
+        hooks_.trace->interval(TraceEventType::Migration,
+                               kTraceTrackPcieH2d, start, done, vpn,
+                               static_cast<std::uint32_t>(bytes));
+    }
+    if (hooks_.audit) {
+        hooks_.audit->onMigrationScheduled(vpn, events_.now(), start,
+                                           done, bytes);
     }
     if (!first_transfer_seen_) {
         first_transfer_seen_ = true;
@@ -277,11 +288,15 @@ UvmRuntime::batchEnd()
         // handling still consumed runtime time.
         current_.first_transfer = current_.end;
     }
-    if (trace_) {
-        trace_->interval(TraceEventType::BatchWindow,
-                         kTraceTrackRuntime, current_.begin,
-                         current_.end, current_.fault_pages,
-                         current_.prefetch_pages);
+    if (hooks_.trace) {
+        hooks_.trace->interval(TraceEventType::BatchWindow,
+                               kTraceTrackRuntime, current_.begin,
+                               current_.end, current_.fault_pages,
+                               current_.prefetch_pages);
+    }
+    if (hooks_.audit) {
+        hooks_.audit->onBatchEnd(current_.end, current_.fault_pages,
+                                 current_.prefetch_pages);
     }
     BAUVM_DLOG("UvmRuntime: batch %llu ends at cycle %llu "
                "(handling %llu, processing %llu cycles)",

@@ -31,6 +31,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/check/sim_hooks.h"
 #include "src/mem/memory_hierarchy.h"
 #include "src/sim/config.h"
 #include "src/sim/event_queue.h"
@@ -74,8 +75,16 @@ class UvmRuntime
     /** Callback receiving oversubscription advice after each batch. */
     using AdviceFn = std::function<void(OversubAdvice)>;
 
+    /**
+     * @param hooks observers for the runtime and its sub-components
+     *              (fault buffer, PCIe link, prefetcher): batches,
+     *              fault handling, migrations and evictions all emit
+     *              timeline events and feed the model auditor. Must
+     *              not change simulated timing either way.
+     */
     UvmRuntime(const UvmConfig &config, EventQueue &events,
-               GpuMemoryManager &manager, MemoryHierarchy &hierarchy);
+               GpuMemoryManager &manager, MemoryHierarchy &hierarchy,
+               const SimHooks &hooks = {});
 
     /**
      * Registers @p bytes at @p base as a valid UVM allocation
@@ -95,14 +104,6 @@ class UvmRuntime
 
     /** Installs the advice sink for the TO controller. */
     void setAdviceCallback(AdviceFn cb) { advice_cb_ = std::move(cb); }
-
-    /**
-     * Enables tracing on the runtime and its sub-components (fault
-     * buffer, PCIe link, prefetcher): batches, fault handling,
-     * migrations and evictions all emit timeline events. nullptr
-     * disables; must not change simulated timing either way.
-     */
-    void setTrace(TraceSink *trace);
 
     /** Callback fired after every batch completes (ETC epochs hook). */
     using BatchEndFn = std::function<void(const BatchRecord &)>;
@@ -154,7 +155,7 @@ class UvmRuntime
     void batchEnd();
     void maybeProactiveEvict();
 
-    TraceSink *trace_ = nullptr;
+    SimHooks hooks_;
     UvmConfig config_;
     EventQueue &events_;
     GpuMemoryManager &manager_;

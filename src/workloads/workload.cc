@@ -8,7 +8,7 @@
 #include "src/graph/graph_cache.h"
 #include "src/sim/log.h"
 #include "src/workloads/graph_workload.h"
-#include "src/workloads/workload_factories.h"
+#include "src/workloads/workload_registry.h"
 
 namespace bauvm
 {
@@ -121,43 +121,23 @@ GraphWorkloadBase::buildGraph(WorkloadScale scale, std::uint64_t seed,
 const std::vector<std::string> &
 irregularWorkloadNames()
 {
-    static const std::vector<std::string> names = {
-        "BC",     "BFS-DWC", "BFS-TA", "BFS-TF",   "BFS-TTC",
-        "BFS-TWC", "GC-DTC",  "GC-TTC", "KCORE",    "SSSP-TWC",
-        "PR",
-    };
+    static const std::vector<std::string> names =
+        WorkloadRegistry::instance().enumerate(WorkloadKind::Irregular);
     return names;
 }
 
 const std::vector<std::string> &
 regularWorkloadNames()
 {
-    static const std::vector<std::string> names = {
-        "CFD", "DWT", "GM", "H3D", "HS", "LUD",
-    };
+    static const std::vector<std::string> names =
+        WorkloadRegistry::instance().enumerate(WorkloadKind::Regular);
     return names;
 }
 
 std::unique_ptr<Workload>
 makeWorkload(const std::string &name)
 {
-    if (name == "BC")
-        return makeBcWorkload();
-    if (name.rfind("BFS-", 0) == 0)
-        return makeBfsWorkload(name.substr(4));
-    if (name.rfind("GC-", 0) == 0)
-        return makeGcWorkload(name.substr(3));
-    if (name == "KCORE")
-        return makeKcoreWorkload();
-    if (name == "SSSP-TWC")
-        return makeSsspWorkload();
-    if (name == "PR")
-        return makePageRankWorkload();
-    for (const auto &r : regularWorkloadNames()) {
-        if (name == r)
-            return makeRegularWorkload(name);
-    }
-    fatal("makeWorkload: unknown workload '%s'", name.c_str());
+    return WorkloadRegistry::instance().create(name);
 }
 
 void

@@ -1,0 +1,98 @@
+#include "src/workloads/workload_registry.h"
+
+#include "src/sim/log.h"
+#include "src/workloads/workload_factories.h"
+
+namespace bauvm
+{
+
+WorkloadRegistry &
+WorkloadRegistry::instance()
+{
+    static WorkloadRegistry registry;
+    return registry;
+}
+
+WorkloadRegistry::WorkloadRegistry()
+{
+    // The paper's Fig 11 presentation order.
+    add("BC", WorkloadKind::Irregular, [] { return makeBcWorkload(); });
+    for (const char *v : {"DWC", "TA", "TF", "TTC", "TWC"}) {
+        add(std::string("BFS-") + v, WorkloadKind::Irregular,
+            [v] { return makeBfsWorkload(v); });
+    }
+    for (const char *v : {"DTC", "TTC"}) {
+        add(std::string("GC-") + v, WorkloadKind::Irregular,
+            [v] { return makeGcWorkload(v); });
+    }
+    add("KCORE", WorkloadKind::Irregular,
+        [] { return makeKcoreWorkload(); });
+    add("SSSP-TWC", WorkloadKind::Irregular,
+        [] { return makeSsspWorkload(); });
+    add("PR", WorkloadKind::Irregular,
+        [] { return makePageRankWorkload(); });
+
+    // The Fig 1 regular contrast suite.
+    for (const char *n : {"CFD", "DWT", "GM", "H3D", "HS", "LUD"}) {
+        add(n, WorkloadKind::Regular,
+            [n] { return makeRegularWorkload(n); });
+    }
+}
+
+void
+WorkloadRegistry::add(const std::string &name, WorkloadKind kind,
+                      Factory factory)
+{
+    if (!factory)
+        fatal("WorkloadRegistry: null factory for '%s'", name.c_str());
+    if (index_.count(name) != 0)
+        fatal("WorkloadRegistry: duplicate workload '%s'", name.c_str());
+    index_.emplace(name, entries_.size());
+    entries_.push_back(Entry{name, kind, std::move(factory)});
+}
+
+std::unique_ptr<Workload>
+WorkloadRegistry::create(const std::string &name) const
+{
+    const auto it = index_.find(name);
+    if (it == index_.end()) {
+        std::string known;
+        for (const Entry &e : entries_) {
+            if (!known.empty())
+                known += ", ";
+            known += e.name;
+        }
+        fatal("WorkloadRegistry: unknown workload '%s' (known: %s)",
+              name.c_str(), known.c_str());
+    }
+    return entries_[it->second].factory();
+}
+
+std::vector<std::string>
+WorkloadRegistry::enumerate() const
+{
+    std::vector<std::string> names;
+    names.reserve(entries_.size());
+    for (const Entry &e : entries_)
+        names.push_back(e.name);
+    return names;
+}
+
+std::vector<std::string>
+WorkloadRegistry::enumerate(WorkloadKind kind) const
+{
+    std::vector<std::string> names;
+    for (const Entry &e : entries_) {
+        if (e.kind == kind)
+            names.push_back(e.name);
+    }
+    return names;
+}
+
+bool
+WorkloadRegistry::contains(const std::string &name) const
+{
+    return index_.count(name) != 0;
+}
+
+} // namespace bauvm

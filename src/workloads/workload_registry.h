@@ -1,0 +1,78 @@
+/**
+ * @file
+ * WorkloadRegistry: the named-workload catalogue.
+ *
+ * Replaces the stringly-typed factory dispatch that used to live in
+ * makeWorkload(): every workload is registered once, under its figure
+ * name, with a factory closure, and lookup/enumeration go through one
+ * table. The legacy free functions (makeWorkload(),
+ * irregularWorkloadNames(), regularWorkloadNames()) survive as thin
+ * deprecated wrappers over this registry.
+ */
+
+#ifndef BAUVM_WORKLOADS_WORKLOAD_REGISTRY_H_
+#define BAUVM_WORKLOADS_WORKLOAD_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/workloads/workload.h"
+
+namespace bauvm
+{
+
+/** Workload family: the paper's irregular GraphBIG selection vs the
+ *  regular Rodinia-style contrast suite of Fig 1. */
+enum class WorkloadKind { Irregular, Regular };
+
+/**
+ * Process-wide catalogue of instantiable workloads.
+ *
+ * instance() arrives pre-populated with the paper's 11 irregular and 6
+ * regular workloads in presentation order. Registration is expected at
+ * startup (before sweeps fan out); create() and the enumerations are
+ * const and safe to call concurrently once registration is done.
+ */
+class WorkloadRegistry
+{
+  public:
+    using Factory = std::function<std::unique_ptr<Workload>()>;
+
+    /** The pre-populated process-wide registry. */
+    static WorkloadRegistry &instance();
+
+    /** Registers @p factory under @p name; fatal() on duplicates. */
+    void add(const std::string &name, WorkloadKind kind,
+             Factory factory);
+
+    /** Instantiates the named workload; fatal() (listing the known
+     *  names) when @p name is not registered. */
+    std::unique_ptr<Workload> create(const std::string &name) const;
+
+    /** All registered names, in registration (presentation) order. */
+    std::vector<std::string> enumerate() const;
+
+    /** Names of one workload family, in registration order. */
+    std::vector<std::string> enumerate(WorkloadKind kind) const;
+
+    bool contains(const std::string &name) const;
+
+  private:
+    WorkloadRegistry(); //!< registers the built-in suite
+
+    struct Entry {
+        std::string name;
+        WorkloadKind kind;
+        Factory factory;
+    };
+
+    std::vector<Entry> entries_; //!< registration order
+    std::unordered_map<std::string, std::size_t> index_;
+};
+
+} // namespace bauvm
+
+#endif // BAUVM_WORKLOADS_WORKLOAD_REGISTRY_H_
