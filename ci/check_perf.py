@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Diffs a fresh perf-smoke run against the committed throughput
+baseline (BENCH_sim_throughput.json, schema bauvm.perfsmoke/1).
+
+Usage: ci/check_perf.py BASELINE.json FRESH.json [--threshold 0.15]
+
+For every shape present in both documents, compares the production
+events_per_sec and emits a GitHub ::warning annotation when the fresh
+number regressed by more than the threshold. Shapes only present on
+one side are reported informationally (new shape / retired shape).
+
+Always exits 0: shared CI runners are far too noisy to gate on
+throughput — the warnings and the uploaded artifact are the signal.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_speedups(path):
+    with open(path) as f:
+        doc = json.load(f)
+    schema = doc.get("schema", "")
+    if not schema.startswith("bauvm.perfsmoke/1"):
+        print(f"::warning::check_perf: {path} has schema '{schema}', "
+              "expected bauvm.perfsmoke/1 — skipping comparison")
+        return None
+    return doc.get("speedups", {})
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="fractional regression that triggers a warning")
+    args = ap.parse_args()
+
+    try:
+        base = load_speedups(args.baseline)
+        fresh = load_speedups(args.fresh)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"::warning::check_perf: cannot compare ({e})")
+        return 0
+    if base is None or fresh is None:
+        return 0
+
+    regressions = 0
+    for shape in sorted(set(base) | set(fresh)):
+        if shape not in fresh:
+            print(f"check_perf: {shape}: retired (baseline only)")
+            continue
+        if shape not in base:
+            print(f"check_perf: {shape}: new shape, no baseline")
+            continue
+        old = base[shape].get("events_per_sec", 0.0)
+        new = fresh[shape].get("events_per_sec", 0.0)
+        if not old or not new:
+            continue
+        delta = (new - old) / old
+        line = (f"check_perf: {shape:<16} {old / 1e6:8.2f} -> "
+                f"{new / 1e6:8.2f} M/s ({delta:+.1%})")
+        if delta < -args.threshold:
+            regressions += 1
+            print(f"::warning::perf regression {shape}: "
+                  f"{old / 1e6:.2f} -> {new / 1e6:.2f} M/s "
+                  f"({delta:+.1%}, threshold -{args.threshold:.0%})")
+        print(line)
+
+    if regressions:
+        print(f"check_perf: {regressions} shape(s) regressed beyond "
+              f"{args.threshold:.0%} (non-gating)")
+    else:
+        print("check_perf: no shape regressed beyond "
+              f"{args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -119,6 +119,12 @@ GpuUvmSystem::run(Workload &workload, WorkloadScale scale)
     r.context_switch_cycles = gpu_->vtc().switchCycles();
     r.pcie_h2d_bytes = runtime_.pcie().bytesMoved(PcieDir::HostToDevice);
     r.pcie_d2h_bytes = runtime_.pcie().bytesMoved(PcieDir::DeviceToHost);
+    r.translations = hierarchy_.accesses();
+    r.tlb_hit_rate = hierarchy_.tlbHitRate();
+    r.faults_per_kcycle =
+        r.cycles ? 1000.0 * static_cast<double>(hierarchy_.faults()) /
+                       static_cast<double>(r.cycles)
+                 : 0.0;
     if (audit_) {
         audit_->finalize(r, manager_.committedFrames(),
                          manager_.pageTable().residentPages());

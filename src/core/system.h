@@ -61,6 +61,14 @@ struct RunResult {
     std::uint64_t pcie_h2d_bytes = 0;
     std::uint64_t pcie_d2h_bytes = 0;
 
+    // Memory data path statistics (schema bauvm.sweep/1.1): these make
+    // translation/fault pressure visible in sweep JSON, so a memory-path
+    // regression shows up in experiment exports and not only in the
+    // microbenches. All three are deterministic.
+    std::uint64_t translations = 0;    //!< line-granular accesses translated
+    double tlb_hit_rate = 0.0;         //!< served without a page walk
+    double faults_per_kcycle = 0.0;    //!< translation faults per 1k cycles
+
     // Simulator self-measurement. sim_events is deterministic (kernel
     // events dispatched for this run); host_wall_s / events_per_sec
     // are host-side wall clock and MUST stay out of determinism

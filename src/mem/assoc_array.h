@@ -109,7 +109,7 @@ class AssocArray
     invalidate(std::uint64_t key)
     {
         if (Line *line = find(key)) {
-            line->valid = false;
+            clearLine(*line);
             return true;
         }
         return false;
@@ -120,7 +120,7 @@ class AssocArray
     flush()
     {
         for (auto &l : lines_)
-            l.valid = false;
+            clearLine(l);
     }
 
     /** Removes all entries for which @p pred(key) holds. @return count. */
@@ -131,7 +131,7 @@ class AssocArray
         std::size_t n = 0;
         for (auto &l : lines_) {
             if (l.valid && pred(l.key)) {
-                l.valid = false;
+                clearLine(l);
                 ++n;
             }
         }
@@ -140,6 +140,21 @@ class AssocArray
 
     std::uint32_t numSets() const { return sets_; }
     std::uint32_t numWays() const { return ways_; }
+
+    /** Debug/test view of one line's raw state. */
+    struct LineView {
+        bool valid = false;
+        std::uint64_t key = 0;
+        std::uint64_t last_use = 0;
+    };
+
+    /** Raw state of way @p way of set @p set (tests only). */
+    LineView
+    lineAt(std::size_t set, std::size_t way) const
+    {
+        const Line &l = lines_[set * ways_ + way];
+        return LineView{l.valid, l.key, l.last_use};
+    }
 
     /** Number of currently valid entries. */
     std::size_t
@@ -159,6 +174,20 @@ class AssocArray
     };
 
     std::size_t setOf(std::uint64_t key) const { return key % sets_; }
+
+    /**
+     * Fully clears an invalidated line. Resetting key/last_use (not
+     * just valid) keeps dead tags from ever matching in a loop that
+     * forgets the valid check, and keeps an invalid line from biasing
+     * LRU victim choice through a stale timestamp.
+     */
+    static void
+    clearLine(Line &l)
+    {
+        l.valid = false;
+        l.key = 0;
+        l.last_use = 0;
+    }
 
     Line *
     find(std::uint64_t key)

@@ -61,6 +61,7 @@ MemoryHierarchy::translate(std::uint32_t sm, PageNum vpn, Cycle start)
         return {false, t};
     }
 
+    ++walks_;
     const Cycle walk_done = walker_.walk(vpn, t);
     const bool fault = !page_table_.isResident(vpn);
     if (hooks_.audit)

@@ -88,6 +88,18 @@ class MemoryHierarchy
     std::uint64_t accesses() const { return accesses_; }
     std::uint64_t faults() const { return faults_; }
 
+    /** Translations that missed both TLB levels and took a page walk. */
+    std::uint64_t pageWalks() const { return walks_; }
+
+    /** Fraction of translations served without a page walk. */
+    double
+    tlbHitRate() const
+    {
+        return accesses_ ? 1.0 - static_cast<double>(walks_) /
+                                     static_cast<double>(accesses_)
+                         : 0.0;
+    }
+
     /** Cycles a transaction waited because the SM's MSHRs were full. */
     std::uint64_t mshrStallCycles() const { return mshr_stall_cycles_; }
 
@@ -115,6 +127,7 @@ class MemoryHierarchy
                                     std::greater<>>> mshrs_;
     std::uint64_t accesses_ = 0;
     std::uint64_t faults_ = 0;
+    std::uint64_t walks_ = 0;
     std::uint64_t mshr_stall_cycles_ = 0;
 };
 

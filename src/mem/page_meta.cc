@@ -1,0 +1,33 @@
+#include "src/mem/page_meta.h"
+
+#include "src/sim/log.h"
+
+namespace bauvm
+{
+
+namespace
+{
+/**
+ * Hard ceiling on tracked VPNs. 2^30 pages of 64 KB is a 64 TB virtual
+ * footprint — far past any modeled workload — and keeps every 32-bit
+ * index link in PageMeta comfortably valid. Hitting this means a
+ * corrupt address, not a big workload.
+ */
+constexpr PageNum kMaxTrackedPages = PageNum{1} << 30;
+} // namespace
+
+void
+PageMetaTable::grow(PageNum vpn)
+{
+    if (vpn >= kMaxTrackedPages) {
+        panic("PageMetaTable: vpn %llu beyond the dense-table bound "
+              "(corrupt address?)",
+              static_cast<unsigned long long>(vpn));
+    }
+    std::size_t want = static_cast<std::size_t>(vpn) + 1;
+    if (want < meta_.size() * 2)
+        want = meta_.size() * 2;
+    meta_.resize(want);
+}
+
+} // namespace bauvm

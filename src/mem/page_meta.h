@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Dense, page-indexed metadata table — the single home for all per-page
+ * state of the memory/UVM data path.
+ *
+ * Every workload declares a bounded virtual-page range up front
+ * (DeviceArray allocations come from a bump allocator starting at page
+ * 1), so per-page state does not need hash maps: one contiguous array
+ * indexed by VPN holds the frame mapping, version counter, residency /
+ * validity / in-flight flags, allocation timestamp, pending-refault
+ * count, fault-buffer slot, the per-chunk FIFO link and the intrusive
+ * waiter-list head. The translate, fault, evict and prefetch paths all
+ * touch the same cache line per page instead of four or five separate
+ * hash-table probes, and none of them allocates in steady state.
+ *
+ * Links (fault slot, chunk FIFO, waiter slab) are 32-bit indices with
+ * 0xFFFFFFFF as the null sentinel; the table panics long before a VPN
+ * could overflow them (a dense table that large would not fit in host
+ * memory anyway).
+ */
+
+#ifndef BAUVM_MEM_PAGE_META_H_
+#define BAUVM_MEM_PAGE_META_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/types.h"
+
+namespace bauvm
+{
+
+/** Per-page state; one entry per VPN in the PageMetaTable. */
+struct PageMeta {
+    /** Null value for every 32-bit index link in this struct. */
+    static constexpr std::uint32_t kNoIndex = 0xFFFFFFFFu;
+
+    // Flag bits.
+    static constexpr std::uint8_t kResident = 1u << 0; //!< has a frame
+    static constexpr std::uint8_t kValid = 1u << 1;    //!< in an allocation
+    static constexpr std::uint8_t kInFlight = 1u << 2; //!< queued/migrating
+
+    FrameNum frame = 0;    //!< backing frame while resident
+    Cycle alloc_time = 0;  //!< commit cycle (lifetime statistics)
+    std::uint32_t version = 0;         //!< bumped on unmap (cache tags)
+    std::uint32_t pending_refault = 0; //!< evictions awaiting a refault
+    std::uint32_t fault_slot = kNoIndex; //!< live FaultBuffer entry index
+    std::uint32_t chunk_next = kNoIndex; //!< next VPN in chunk page FIFO
+    std::uint32_t waiter_head = kNoIndex; //!< first waiter slab node
+    std::uint32_t waiter_tail = kNoIndex; //!< last waiter slab node
+    std::uint8_t flags = 0;
+
+    bool resident() const { return (flags & kResident) != 0; }
+    bool valid() const { return (flags & kValid) != 0; }
+    bool inFlight() const { return (flags & kInFlight) != 0; }
+
+    void setResident(bool on)
+    {
+        flags = on ? (flags | kResident)
+                   : static_cast<std::uint8_t>(flags & ~kResident);
+    }
+    void setValid(bool on)
+    {
+        flags = on ? (flags | kValid)
+                   : static_cast<std::uint8_t>(flags & ~kValid);
+    }
+    void setInFlight(bool on)
+    {
+        flags = on ? (flags | kInFlight)
+                   : static_cast<std::uint8_t>(flags & ~kInFlight);
+    }
+};
+
+/**
+ * Growable dense array of PageMeta indexed by VPN.
+ *
+ * Mutators go through ensure(), which grows the table (amortized
+ * doubling, so registering an allocation of N pages costs O(N) total).
+ * Const queries never grow: a VPN beyond the table simply has
+ * default-initialized state (not resident, not valid, version 0), which
+ * is exactly what the prefetcher's neighbor probes and speculative
+ * translate lookups need.
+ */
+class PageMetaTable
+{
+  public:
+    /** Entry for @p vpn, growing the table if needed. */
+    PageMeta &
+    ensure(PageNum vpn)
+    {
+        if (vpn >= meta_.size())
+            grow(vpn);
+        return meta_[vpn];
+    }
+
+    /**
+     * Entry for @p vpn without growth. @pre vpn < size() — callers use
+     * this only for pages they have already ensure()d (e.g. the fault
+     * buffer clearing slots of drained records).
+     */
+    PageMeta &at(PageNum vpn) { return meta_[vpn]; }
+
+    /** Entry for @p vpn, or nullptr if the table has never reached it. */
+    const PageMeta *
+    find(PageNum vpn) const
+    {
+        return vpn < meta_.size() ? &meta_[vpn] : nullptr;
+    }
+
+    bool
+    resident(PageNum vpn) const
+    {
+        const PageMeta *m = find(vpn);
+        return m != nullptr && m->resident();
+    }
+
+    bool
+    valid(PageNum vpn) const
+    {
+        const PageMeta *m = find(vpn);
+        return m != nullptr && m->valid();
+    }
+
+    bool
+    inFlight(PageNum vpn) const
+    {
+        const PageMeta *m = find(vpn);
+        return m != nullptr && m->inFlight();
+    }
+
+    std::uint32_t
+    version(PageNum vpn) const
+    {
+        const PageMeta *m = find(vpn);
+        return m != nullptr ? m->version : 0;
+    }
+
+    /** Number of entries (one past the highest VPN ever ensure()d). */
+    std::size_t size() const { return meta_.size(); }
+
+  private:
+    /** Out-of-line slow path: amortized-doubling resize + bound check. */
+    void grow(PageNum vpn);
+
+    std::vector<PageMeta> meta_;
+};
+
+} // namespace bauvm
+
+#endif // BAUVM_MEM_PAGE_META_H_

@@ -8,32 +8,35 @@ namespace bauvm
 void
 PageTable::map(PageNum vpn, FrameNum frame)
 {
-    auto [it, inserted] = mappings_.emplace(vpn, frame);
-    (void)it;
-    if (!inserted)
+    PageMeta &m = meta_.ensure(vpn);
+    if (m.resident())
         panic("PageTable: double map of vpn %llu",
               static_cast<unsigned long long>(vpn));
+    m.setResident(true);
+    m.frame = frame;
+    ++resident_;
 }
 
 void
 PageTable::unmap(PageNum vpn)
 {
-    auto it = mappings_.find(vpn);
-    if (it == mappings_.end())
+    PageMeta *m = vpn < meta_.size() ? &meta_.at(vpn) : nullptr;
+    if (m == nullptr || !m->resident())
         panic("PageTable: unmap of non-resident vpn %llu",
               static_cast<unsigned long long>(vpn));
-    mappings_.erase(it);
-    ++versions_[vpn];
+    m->setResident(false);
+    ++m->version; // uint32 wrap is deliberate: tags only compare equality
+    --resident_;
 }
 
 FrameNum
 PageTable::frameOf(PageNum vpn) const
 {
-    auto it = mappings_.find(vpn);
-    if (it == mappings_.end())
+    const PageMeta *m = meta_.find(vpn);
+    if (m == nullptr || !m->resident())
         panic("PageTable: frameOf non-resident vpn %llu",
               static_cast<unsigned long long>(vpn));
-    return it->second;
+    return m->frame;
 }
 
 } // namespace bauvm

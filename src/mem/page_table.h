@@ -2,17 +2,17 @@
  * @file
  * GPU-side page table: virtual-page -> frame mapping plus residency.
  *
- * The functional side is a hash map; the multi-level structure only
- * matters for walk timing, which PageTableWalker models using the level
- * count and the page-walk cache.
+ * The functional side is a dense PageMetaTable lookup; the multi-level
+ * structure only matters for walk timing, which PageTableWalker models
+ * using the level count and the page-walk cache.
  */
 
 #ifndef BAUVM_MEM_PAGE_TABLE_H_
 #define BAUVM_MEM_PAGE_TABLE_H_
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "src/mem/page_meta.h"
 #include "src/sim/types.h"
 
 namespace bauvm
@@ -25,6 +25,10 @@ namespace bauvm
  * carries a version counter that is bumped on unmap; the caches fold the
  * version into their tags, which invalidates stale lines in O(1) when a
  * page is evicted.
+ *
+ * The PageTable owns the shared PageMetaTable: mapping state lives in
+ * the same dense per-page record as the memory manager's and runtime's
+ * fields, so a translate is one array index, not a hash probe.
  */
 class PageTable
 {
@@ -36,10 +40,7 @@ class PageTable
     void unmap(PageNum vpn);
 
     /** True when @p vpn has a valid GPU mapping. */
-    bool isResident(PageNum vpn) const
-    {
-        return mappings_.find(vpn) != mappings_.end();
-    }
+    bool isResident(PageNum vpn) const { return meta_.resident(vpn); }
 
     /** Frame backing @p vpn. @pre isResident(vpn). */
     FrameNum frameOf(PageNum vpn) const;
@@ -50,16 +51,19 @@ class PageTable
      */
     std::uint32_t version(PageNum vpn) const
     {
-        auto it = versions_.find(vpn);
-        return it == versions_.end() ? 0 : it->second;
+        return meta_.version(vpn);
     }
 
     /** Number of resident pages. */
-    std::size_t residentPages() const { return mappings_.size(); }
+    std::size_t residentPages() const { return resident_; }
+
+    /** The dense per-page metadata shared across the UVM data path. */
+    PageMetaTable &meta() { return meta_; }
+    const PageMetaTable &meta() const { return meta_; }
 
   private:
-    std::unordered_map<PageNum, FrameNum> mappings_;
-    std::unordered_map<PageNum, std::uint32_t> versions_;
+    PageMetaTable meta_;
+    std::size_t resident_ = 0;
 };
 
 } // namespace bauvm

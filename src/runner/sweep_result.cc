@@ -56,6 +56,10 @@ writeRunResult(JsonWriter &w, const RunResult &r)
     w.field("context_switch_cycles", r.context_switch_cycles);
     w.field("pcie_h2d_bytes", r.pcie_h2d_bytes);
     w.field("pcie_d2h_bytes", r.pcie_d2h_bytes);
+    // Memory data path (added in schema minor /1.1; deterministic).
+    w.field("translations", r.translations);
+    w.field("tlb_hit_rate", r.tlb_hit_rate);
+    w.field("faults_per_kcycle", r.faults_per_kcycle);
     // Simulator self-measurement (host_wall_s / events_per_sec are
     // nondeterministic; consumers must not diff them across runs).
     w.field("sim_events", r.sim_events);

@@ -4,9 +4,9 @@
  * sweep-level metadata, exportable as schema-versioned JSON alongside
  * the Table/CSV output the bench binaries already print.
  *
- * JSON schema "bauvm.sweep/1":
+ * JSON schema "bauvm.sweep/1.1":
  * {
- *   "schema": "bauvm.sweep/1",
+ *   "schema": "bauvm.sweep/1.1",
  *   "bench": "<bench name>",
  *   "base_seed": u64, "scale": "tiny|small|medium|large",
  *   "ratio": f64, "jobs": u64, "elapsed_s": f64,
@@ -22,6 +22,9 @@
  * ("sim_events", "host_wall_s", "events_per_sec"); the latter two are
  * host wall-clock derived and therefore nondeterministic — additive
  * within schema /1, excluded from determinism comparisons.
+ * Minor /1.1 adds the deterministic memory data path counters
+ * "translations", "tlb_hit_rate" and "faults_per_kcycle"; consumers
+ * keyed on the "bauvm.sweep/1" prefix keep working.
  * Cells appear in deterministic matrix order (variant-major, then
  * workload, then policy), never in completion order.
  */
@@ -40,8 +43,11 @@ namespace bauvm
 {
 
 struct SweepResult {
-    /** Bumped whenever the JSON layout changes incompatibly. */
-    static constexpr const char *kSchema = "bauvm.sweep/1";
+    /**
+     * Major bumped whenever the JSON layout changes incompatibly;
+     * minor bumped for additive fields within the same major.
+     */
+    static constexpr const char *kSchema = "bauvm.sweep/1.1";
 
     std::string bench;          //!< producing binary, e.g. "fig11_speedup"
     std::uint64_t base_seed = 0;

@@ -1,16 +1,21 @@
 /**
  * @file
  * InlineFunction: a move-only, small-buffer-optimized replacement for
- * std::function<void()> on the simulator's hot path.
+ * std::function on the simulator's hot paths.
  *
  * The discrete-event kernel schedules millions of short-lived closures
- * per simulated second; std::function heap-allocates whenever a capture
+ * per simulated second, and the UVM runtime parks one waiter callback
+ * per faulting warp; std::function heap-allocates whenever a capture
  * exceeds its (implementation-defined) small-object buffer and always
- * drags in RTTI/copyability machinery the kernel never uses. This type
+ * drags in RTTI/copyability machinery these paths never use. This type
  * stores any nothrow-move-constructible callable whose size fits the
- * fixed inline capacity directly in the event record; larger callables
- * fall back to a single heap allocation and bump a global counter so
- * tests can assert the fast path stays allocation-free.
+ * fixed inline capacity directly in the owning record (event slab cell,
+ * waiter slab node); larger callables fall back to a single heap
+ * allocation and bump a global counter so tests can assert the fast
+ * path stays allocation-free.
+ *
+ * The signature is a template parameter (default `void()`, the event
+ * kernel's shape); the UVM waiter slab instantiates `void(Cycle)`.
  */
 
 #ifndef BAUVM_SIM_INLINE_FUNCTION_H_
@@ -32,19 +37,23 @@ namespace detail
 inline std::atomic<std::uint64_t> inline_fn_heap_fallbacks{0};
 } // namespace detail
 
+template <std::size_t InlineBytes, typename Sig = void()>
+class InlineFunction; // primary template: only R(Args...) is defined
+
 /**
- * A void() callable with @p InlineBytes of inline storage.
+ * An R(Args...) callable with @p InlineBytes of inline storage.
  *
  * Invariants:
- *  - move-only (events execute exactly once; copies are never needed);
+ *  - move-only (events and waiters execute exactly once; copies are
+ *    never needed);
  *  - callables with sizeof <= InlineBytes and a nothrow move
  *    constructor are stored inline: constructing, moving and invoking
  *    them performs zero heap allocations;
  *  - anything larger lives behind one heap allocation (counted via
  *    heapFallbacks(), asserted rare in tests).
  */
-template <std::size_t InlineBytes>
-class InlineFunction
+template <std::size_t InlineBytes, typename R, typename... Args>
+class InlineFunction<InlineBytes, R(Args...)>
 {
     static_assert(InlineBytes >= sizeof(void *),
                   "inline buffer must hold at least a pointer");
@@ -59,19 +68,7 @@ class InlineFunction
                   std::decay_t<F>, InlineFunction>>>
     InlineFunction(F &&f) // NOLINT: implicit like std::function
     {
-        using Fn = std::decay_t<F>;
-        static_assert(std::is_invocable_r_v<void, Fn &>,
-                      "callable must be invocable as void()");
-        if constexpr (fitsInline<Fn>()) {
-            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(f));
-            ops_ = &kInlineOps<Fn>;
-        } else {
-            *reinterpret_cast<Fn **>(buf_) =
-                new Fn(std::forward<F>(f));
-            ops_ = &kHeapOps<Fn>;
-            detail::inline_fn_heap_fallbacks.fetch_add(
-                1, std::memory_order_relaxed);
-        }
+        construct(std::forward<F>(f));
     }
 
     InlineFunction(InlineFunction &&o) noexcept
@@ -115,29 +112,18 @@ class InlineFunction
     void
     emplace(F &&f)
     {
-        using Fn = std::decay_t<F>;
-        static_assert(!std::is_same_v<Fn, InlineFunction>,
+        static_assert(!std::is_same_v<std::decay_t<F>, InlineFunction>,
                       "emplace takes a callable, not an InlineFunction");
-        static_assert(std::is_invocable_r_v<void, Fn &>,
-                      "callable must be invocable as void()");
         reset();
-        if constexpr (fitsInline<Fn>()) {
-            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(f));
-            ops_ = &kInlineOps<Fn>;
-        } else {
-            *reinterpret_cast<Fn **>(buf_) = new Fn(std::forward<F>(f));
-            ops_ = &kHeapOps<Fn>;
-            detail::inline_fn_heap_fallbacks.fetch_add(
-                1, std::memory_order_relaxed);
-        }
+        construct(std::forward<F>(f));
     }
 
     explicit operator bool() const { return ops_ != nullptr; }
 
-    void
-    operator()()
+    R
+    operator()(Args... args)
     {
-        ops_->invoke(buf_);
+        return ops_->invoke(buf_, std::forward<Args>(args)...);
     }
 
     /** True if @p Fn will be stored inline (compile-time). */
@@ -160,15 +146,36 @@ class InlineFunction
 
   private:
     struct Ops {
-        void (*invoke)(void *);
+        R (*invoke)(void *, Args...);
         /** Move-constructs dst from src, then destroys src. */
         void (*relocate)(void *dst, void *src);
         void (*destroy)(void *);
     };
 
+    template <typename F>
+    void
+    construct(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(std::is_invocable_r_v<R, Fn &, Args...>,
+                      "callable must be invocable with the signature");
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(f));
+            ops_ = &kInlineOps<Fn>;
+        } else {
+            *reinterpret_cast<Fn **>(buf_) = new Fn(std::forward<F>(f));
+            ops_ = &kHeapOps<Fn>;
+            detail::inline_fn_heap_fallbacks.fetch_add(
+                1, std::memory_order_relaxed);
+        }
+    }
+
     template <typename Fn>
     static constexpr Ops kInlineOps = {
-        [](void *p) { (*static_cast<Fn *>(p))(); },
+        [](void *p, Args... args) -> R {
+            return (*static_cast<Fn *>(p))(
+                std::forward<Args>(args)...);
+        },
         [](void *dst, void *src) {
             auto *s = static_cast<Fn *>(src);
             ::new (dst) Fn(std::move(*s));
@@ -179,7 +186,10 @@ class InlineFunction
 
     template <typename Fn>
     static constexpr Ops kHeapOps = {
-        [](void *p) { (**static_cast<Fn **>(p))(); },
+        [](void *p, Args... args) -> R {
+            return (**static_cast<Fn **>(p))(
+                std::forward<Args>(args)...);
+        },
         [](void *dst, void *src) {
             *static_cast<Fn **>(dst) = *static_cast<Fn **>(src);
         },

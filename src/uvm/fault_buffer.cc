@@ -6,8 +6,9 @@
 namespace bauvm
 {
 
-FaultBuffer::FaultBuffer(std::uint32_t capacity, const SimHooks &hooks)
-    : hooks_(hooks), capacity_(capacity)
+FaultBuffer::FaultBuffer(std::uint32_t capacity, PageMetaTable &meta,
+                         const SimHooks &hooks)
+    : hooks_(hooks), capacity_(capacity), meta_(meta)
 {
     if (capacity == 0)
         fatal("FaultBuffer: capacity must be positive");
@@ -17,24 +18,24 @@ void
 FaultBuffer::insert(PageNum vpn, Cycle now)
 {
     ++total_faults_;
-    auto it = index_.find(vpn);
-    if (it != index_.end()) {
-        ++order_[it->second].duplicates;
+    PageMeta &m = meta_.ensure(vpn);
+    if (m.fault_slot != PageMeta::kNoIndex) {
+        ++order_[m.fault_slot].duplicates;
         if (hooks_.audit) {
             hooks_.audit->onFaultBuffered(vpn, now, order_.size(),
-                                          overflow_.size());
+                                          overflowSize());
         }
         return;
     }
     if (order_.size() >= capacity_) {
         ++overflows_;
         // Merge duplicates within the overflow queue as well.
-        for (auto &rec : overflow_) {
-            if (rec.vpn == vpn) {
-                ++rec.duplicates;
+        for (std::size_t i = overflow_head_; i < overflow_.size(); ++i) {
+            if (overflow_[i].vpn == vpn) {
+                ++overflow_[i].duplicates;
                 if (hooks_.audit) {
                     hooks_.audit->onFaultBuffered(
-                        vpn, now, order_.size(), overflow_.size());
+                        vpn, now, order_.size(), overflowSize());
                 }
                 return;
             }
@@ -44,45 +45,51 @@ FaultBuffer::insert(PageNum vpn, Cycle now)
             hooks_.trace->counter(
                 TraceEventType::FaultBufferDepth, kTraceTrackRuntime,
                 now, order_.size(),
-                static_cast<std::uint32_t>(overflow_.size()));
+                static_cast<std::uint32_t>(overflowSize()));
         }
         if (hooks_.audit) {
             hooks_.audit->onFaultBuffered(vpn, now, order_.size(),
-                                          overflow_.size());
+                                          overflowSize());
         }
         return;
     }
-    index_.emplace(vpn, order_.size());
+    m.fault_slot = static_cast<std::uint32_t>(order_.size());
     order_.push_back(FaultRecord{vpn, now, 1});
     if (hooks_.trace) {
         hooks_.trace->counter(TraceEventType::FaultBufferDepth,
                               kTraceTrackRuntime, now, order_.size(),
                               static_cast<std::uint32_t>(
-                                  overflow_.size()));
+                                  overflowSize()));
     }
     if (hooks_.audit) {
         hooks_.audit->onFaultBuffered(vpn, now, order_.size(),
-                                      overflow_.size());
+                                      overflowSize());
     }
 }
 
-std::vector<FaultRecord>
-FaultBuffer::drain()
+void
+FaultBuffer::drainInto(std::vector<FaultRecord> &out)
 {
-    std::vector<FaultRecord> out = std::move(order_);
-    order_.clear();
-    index_.clear();
+    out.clear();
+    std::swap(out, order_); // order_ keeps out's warmed capacity
+    for (const FaultRecord &rec : out)
+        meta_.at(rec.vpn).fault_slot = PageMeta::kNoIndex;
     // Refill from overflow, preserving arrival order.
-    while (!overflow_.empty() && order_.size() < capacity_) {
-        index_.emplace(overflow_.front().vpn, order_.size());
-        order_.push_back(overflow_.front());
-        overflow_.pop_front();
+    while (overflow_head_ < overflow_.size() &&
+           order_.size() < capacity_) {
+        FaultRecord &rec = overflow_[overflow_head_++];
+        meta_.ensure(rec.vpn).fault_slot =
+            static_cast<std::uint32_t>(order_.size());
+        order_.push_back(rec);
+    }
+    if (overflow_head_ == overflow_.size()) {
+        overflow_.clear();
+        overflow_head_ = 0;
     }
     if (hooks_.audit) {
         hooks_.audit->onFaultDrained(out.size(), order_.size(),
-                                     overflow_.size());
+                                     overflowSize());
     }
-    return out;
 }
 
 } // namespace bauvm

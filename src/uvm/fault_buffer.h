@@ -11,17 +11,22 @@
  * Entry capacity is enforced (Table 1: 1024 entries); overflowing faults
  * are queued aside and re-inserted as entries free up, modelling the
  * hardware's replay of dropped faults.
+ *
+ * Duplicate detection uses PageMeta::fault_slot in the shared dense
+ * page-metadata table instead of a vpn -> index hash map, and drain
+ * swaps the entry vector with a caller-provided scratch buffer — in
+ * steady state (no overflow) inserting and draining faults performs no
+ * heap allocation at all.
  */
 
 #ifndef BAUVM_UVM_FAULT_BUFFER_H_
 #define BAUVM_UVM_FAULT_BUFFER_H_
 
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "src/check/sim_hooks.h"
+#include "src/mem/page_meta.h"
 #include "src/sim/types.h"
 #include "src/trace/trace_sink.h"
 
@@ -41,11 +46,14 @@ class FaultBuffer
   public:
     /**
      * @param capacity maximum distinct-page entries held.
+     * @param meta     shared dense page metadata; the buffer keeps each
+     *                 buffered page's entry index in its fault_slot
+     *                 field (kNoIndex when not buffered).
      * @param hooks    observers (inserts emit occupancy counter
      *                 samples; the auditor replays the accounting).
      */
-    explicit FaultBuffer(std::uint32_t capacity,
-                         const SimHooks &hooks = {});
+    FaultBuffer(std::uint32_t capacity, PageMetaTable &meta,
+                const SimHooks &hooks = {});
 
     /**
      * Records a fault on @p vpn at cycle @p now.
@@ -57,15 +65,25 @@ class FaultBuffer
     void insert(PageNum vpn, Cycle now);
 
     /**
-     * Removes and returns every buffered entry (batch formation), then
-     * refills from the overflow queue.
+     * Moves every buffered entry into @p out (batch formation), then
+     * refills from the overflow queue. @p out is clear()ed first; reusing
+     * the same vector across batches keeps the drain allocation-free.
      */
-    std::vector<FaultRecord> drain();
+    void drainInto(std::vector<FaultRecord> &out);
+
+    /** Convenience wrapper around drainInto() (tests, one-shot use). */
+    std::vector<FaultRecord>
+    drain()
+    {
+        std::vector<FaultRecord> out;
+        drainInto(out);
+        return out;
+    }
 
     /** Distinct-page entries currently buffered. */
     std::size_t size() const { return order_.size(); }
 
-    bool empty() const { return order_.empty() && overflow_.empty(); }
+    bool empty() const { return order_.empty() && overflowSize() == 0; }
 
     std::uint32_t capacity() const { return capacity_; }
 
@@ -76,11 +94,23 @@ class FaultBuffer
     std::uint64_t totalFaults() const { return total_faults_; }
 
   private:
+    std::size_t overflowSize() const
+    {
+        return overflow_.size() - overflow_head_;
+    }
+
     SimHooks hooks_;
     std::uint32_t capacity_;
+    PageMetaTable &meta_;
     std::vector<FaultRecord> order_;  //!< insertion-ordered entries
-    std::unordered_map<PageNum, std::size_t> index_; //!< vpn -> order_ idx
-    std::deque<FaultRecord> overflow_;
+    /**
+     * Overflow FIFO: live entries are [overflow_head_, size()). Popping
+     * advances the head; storage is reclaimed once the queue empties
+     * (drain compacts it), so sustained overflow does not grow it
+     * unboundedly.
+     */
+    std::vector<FaultRecord> overflow_;
+    std::size_t overflow_head_ = 0;
     std::uint64_t overflows_ = 0;
     std::uint64_t total_faults_ = 0;
 };

@@ -1,7 +1,5 @@
 #include "src/uvm/gpu_memory_manager.h"
 
-#include <algorithm>
-
 #include "src/check/model_auditor.h"
 #include "src/sim/log.h"
 
@@ -43,6 +41,48 @@ GpuMemoryManager::reserveFrame()
         hooks_.audit->onFrameReserved(committed_);
 }
 
+GpuMemoryManager::ChunkMeta &
+GpuMemoryManager::ensureChunk(std::uint64_t chunk)
+{
+    if (chunk >= chunks_.size()) {
+        std::size_t want = static_cast<std::size_t>(chunk) + 1;
+        if (want < chunks_.size() * 2)
+            want = chunks_.size() * 2;
+        chunks_.resize(want);
+    }
+    return chunks_[static_cast<std::size_t>(chunk)];
+}
+
+void
+GpuMemoryManager::lruUnlink(std::uint32_t chunk)
+{
+    ChunkMeta &c = chunks_[chunk];
+    if (c.prev != PageMeta::kNoIndex)
+        chunks_[c.prev].next = c.next;
+    else
+        lru_head_ = c.next;
+    if (c.next != PageMeta::kNoIndex)
+        chunks_[c.next].prev = c.prev;
+    else
+        lru_tail_ = c.prev;
+    c.prev = c.next = PageMeta::kNoIndex;
+    c.in_list = false;
+}
+
+void
+GpuMemoryManager::lruAppend(std::uint32_t chunk)
+{
+    ChunkMeta &c = chunks_[chunk];
+    c.prev = lru_tail_;
+    c.next = PageMeta::kNoIndex;
+    if (lru_tail_ != PageMeta::kNoIndex)
+        chunks_[lru_tail_].next = chunk;
+    else
+        lru_head_ = chunk;
+    lru_tail_ = chunk;
+    c.in_list = true;
+}
+
 void
 GpuMemoryManager::commitPage(PageNum vpn, Cycle now)
 {
@@ -53,24 +93,32 @@ GpuMemoryManager::commitPage(PageNum vpn, Cycle now)
             committed_, static_cast<std::uint32_t>(capacity_pages_));
     }
     page_table_.map(vpn, vpn /* identity frames: timing-only model */);
-    alloc_time_[vpn] = now;
+    PageMeta &m = page_table_.meta().at(vpn);
+    m.alloc_time = now;
 
-    auto ref = pending_refault_.find(vpn);
-    if (ref != pending_refault_.end()) {
+    if (m.pending_refault > 0) {
         ++premature_;
-        if (--ref->second == 0)
-            pending_refault_.erase(ref);
+        --m.pending_refault;
     }
 
     const std::uint64_t chunk = chunkOf(vpn);
-    chunk_pages_[chunk].push_back(vpn);
+    ChunkMeta &c = ensureChunk(chunk);
+    // Append to the chunk's page FIFO (oldest allocation first).
+    m.chunk_next = PageMeta::kNoIndex;
+    if (c.page_tail != PageMeta::kNoIndex) {
+        page_table_.meta().at(c.page_tail).chunk_next =
+            static_cast<std::uint32_t>(vpn);
+    } else {
+        c.page_head = static_cast<std::uint32_t>(vpn);
+    }
+    c.page_tail = static_cast<std::uint32_t>(vpn);
+
     // Aged-based LRU: a chunk moves to the tail whenever any of its
     // sub-chunks is allocated (the driver's policy).
-    auto pos = lru_pos_.find(chunk);
-    if (pos != lru_pos_.end())
-        lru_.erase(pos->second);
-    lru_.push_back(chunk);
-    lru_pos_[chunk] = std::prev(lru_.end());
+    const auto cid = static_cast<std::uint32_t>(chunk);
+    if (c.in_list)
+        lruUnlink(cid);
+    lruAppend(cid);
 
     if (hooks_.audit)
         hooks_.audit->onPageCommitted(vpn, now, committed_);
@@ -79,38 +127,35 @@ GpuMemoryManager::commitPage(PageNum vpn, Cycle now)
 bool
 GpuMemoryManager::beginEviction(PageNum *vpn, Cycle now)
 {
-    if (lru_.empty())
+    if (lru_head_ == PageMeta::kNoIndex)
         return false;
-    const std::uint64_t chunk = lru_.front();
-    auto &pages = chunk_pages_[chunk];
-    if (pages.empty())
+    const std::uint32_t chunk = lru_head_;
+    ChunkMeta &c = chunks_[chunk];
+    if (c.page_head == PageMeta::kNoIndex)
         panic("GpuMemoryManager: LRU chunk with no pages");
 
     // Evict the chunk's pages one call at a time (oldest allocation
     // first); the chunk leaves the LRU list when it empties.
-    const PageNum victim = pages.front();
-    pages.erase(pages.begin());
-    if (pages.empty()) {
-        chunk_pages_.erase(chunk);
-        lru_.pop_front();
-        lru_pos_.erase(chunk);
+    const PageNum victim = c.page_head;
+    PageMeta &m = page_table_.meta().at(victim);
+    c.page_head = m.chunk_next;
+    m.chunk_next = PageMeta::kNoIndex;
+    if (c.page_head == PageMeta::kNoIndex) {
+        c.page_tail = PageMeta::kNoIndex;
+        lruUnlink(chunk);
     }
 
     page_table_.unmap(victim);
     ++evictions_;
-    ++pending_refault_[victim];
+    ++m.pending_refault;
 
-    auto at = alloc_time_.find(victim);
-    if (at == alloc_time_.end())
-        panic("GpuMemoryManager: victim with no allocation time");
     BAUVM_DLOG("GpuMemoryManager: evict vpn %llu after %llu cycles "
                "(%llu/%llu frames committed)",
                static_cast<unsigned long long>(victim),
-               static_cast<unsigned long long>(now - at->second),
+               static_cast<unsigned long long>(now - m.alloc_time),
                static_cast<unsigned long long>(committed_),
                static_cast<unsigned long long>(capacity_pages_));
-    lifetime_.addLifetime(now - at->second);
-    alloc_time_.erase(at);
+    lifetime_.addLifetime(now - m.alloc_time);
 
     if (hooks_.audit)
         hooks_.audit->onEvictionBegin(victim, now, committed_);

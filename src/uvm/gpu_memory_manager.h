@@ -9,17 +9,26 @@
  * the list, because the driver never sees them), and eviction picks the
  * head of that list. The "GPU memory status tracker" that Unobtrusive
  * Eviction consults in the top-half ISR is the atCapacity() query.
+ *
+ * Metadata layout: per-page fields (alloc time, pending-refault count,
+ * chunk FIFO link) live in the shared dense PageMetaTable owned by the
+ * PageTable; the chunk LRU is an intrusive doubly-linked list threaded
+ * through a dense chunk-metadata array. List operations are the same
+ * unlink/append-to-tail/pop-head sequence the previous
+ * std::list + unordered_map implementation performed, so the recency
+ * order — and therefore every eviction decision — is bit-identical,
+ * without a single hash probe or node allocation on the commit/evict
+ * path.
  */
 
 #ifndef BAUVM_UVM_GPU_MEMORY_MANAGER_H_
 #define BAUVM_UVM_GPU_MEMORY_MANAGER_H_
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
 #include <vector>
 
 #include "src/check/sim_hooks.h"
+#include "src/mem/page_meta.h"
 #include "src/mem/page_table.h"
 #include "src/sim/config.h"
 #include "src/sim/types.h"
@@ -124,12 +133,28 @@ class GpuMemoryManager
     std::uint64_t migrations() const { return migrations_; }
 
   private:
-    using LruList = std::list<std::uint64_t>; // chunk ids, head = oldest
+    /**
+     * Per-root-chunk state: intrusive LRU links plus the head/tail of
+     * the chunk's resident-page FIFO (threaded through
+     * PageMeta::chunk_next, oldest allocation first). in_list
+     * distinguishes "not in the LRU" from "at the ends of it".
+     */
+    struct ChunkMeta {
+        std::uint32_t prev = PageMeta::kNoIndex;
+        std::uint32_t next = PageMeta::kNoIndex;
+        std::uint32_t page_head = PageMeta::kNoIndex;
+        std::uint32_t page_tail = PageMeta::kNoIndex;
+        bool in_list = false;
+    };
 
     std::uint64_t chunkOf(PageNum vpn) const
     {
         return vpn / config_.root_chunk_pages;
     }
+
+    ChunkMeta &ensureChunk(std::uint64_t chunk);
+    void lruUnlink(std::uint32_t chunk);
+    void lruAppend(std::uint32_t chunk);
 
     SimHooks hooks_;
     UvmConfig config_;
@@ -138,14 +163,9 @@ class GpuMemoryManager
     PageTable page_table_;
     LifetimeTracker lifetime_;
 
-    LruList lru_;
-    std::unordered_map<std::uint64_t, LruList::iterator> lru_pos_;
-    /** Resident pages per chunk (only chunks with > 0 pages tracked). */
-    std::unordered_map<std::uint64_t, std::vector<PageNum>> chunk_pages_;
-    /** Allocation timestamps for lifetime computation. */
-    std::unordered_map<PageNum, Cycle> alloc_time_;
-    /** Outstanding eviction events per page awaiting a refault. */
-    std::unordered_map<PageNum, std::uint32_t> pending_refault_;
+    std::vector<ChunkMeta> chunks_; //!< dense, indexed by chunk id
+    std::uint32_t lru_head_ = PageMeta::kNoIndex; //!< oldest chunk
+    std::uint32_t lru_tail_ = PageMeta::kNoIndex; //!< newest chunk
 
     std::uint64_t evictions_ = 0;
     std::uint64_t premature_ = 0;

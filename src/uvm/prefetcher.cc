@@ -1,8 +1,6 @@
 #include "src/uvm/prefetcher.h"
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "src/sim/log.h"
 
@@ -23,98 +21,107 @@ TreePrefetcher::TreePrefetcher(const UvmConfig &config, ResidencyFn resident,
     }
 }
 
-std::vector<PageNum>
-TreePrefetcher::computePrefetches(
-    const std::vector<PageNum> &faulted) const
+void
+TreePrefetcher::computePrefetchesInto(
+    const std::vector<PageNum> &faulted, std::vector<PageNum> *out) const
 {
-    std::vector<PageNum> picked =
-        config_.sequential_prefetch_pages > 0
-            ? sequentialPrefetches(faulted)
-            : treePrefetches(faulted);
-    if (hooks_.trace && hooks_.clock && !picked.empty()) {
+    out->clear();
+    sorted_faults_.assign(faulted.begin(), faulted.end());
+    std::sort(sorted_faults_.begin(), sorted_faults_.end());
+    if (config_.sequential_prefetch_pages > 0)
+        sequentialPrefetches(faulted, out);
+    else
+        treePrefetches(out);
+    if (hooks_.trace && hooks_.clock && !out->empty()) {
         hooks_.trace->instant(TraceEventType::PrefetchIssue,
                               kTraceTrackRuntime, hooks_.clock->now(),
-                              picked.size(),
+                              out->size(),
                               static_cast<std::uint32_t>(
                                   faulted.size()));
     }
     BAUVM_DLOG("TreePrefetcher: %zu prefetches for %zu demand pages",
-               picked.size(), faulted.size());
-    return picked;
+               out->size(), faulted.size());
 }
 
-std::vector<PageNum>
+void
 TreePrefetcher::sequentialPrefetches(
-    const std::vector<PageNum> &faulted) const
+    const std::vector<PageNum> &faulted, std::vector<PageNum> *out) const
 {
-    std::unordered_set<PageNum> faulted_set(faulted.begin(),
-                                            faulted.end());
-    std::unordered_set<PageNum> chosen;
     for (PageNum vpn : faulted) {
         for (std::uint32_t i = 1;
              i <= config_.sequential_prefetch_pages; ++i) {
             const PageNum next = vpn + i;
-            if (!resident_(next) && !faulted_set.count(next) &&
-                valid_(next)) {
-                chosen.insert(next);
-            }
+            const bool is_fault = std::binary_search(
+                sorted_faults_.begin(), sorted_faults_.end(), next);
+            if (!resident_(next) && !is_fault && valid_(next))
+                out->push_back(next);
         }
     }
-    std::vector<PageNum> prefetches(chosen.begin(), chosen.end());
-    std::sort(prefetches.begin(), prefetches.end());
-    return prefetches;
+    // Candidate windows of nearby faults overlap; sort + unique yields
+    // the same deduplicated ascending set the old hash-set build did.
+    std::sort(out->begin(), out->end());
+    out->erase(std::unique(out->begin(), out->end()), out->end());
 }
 
-std::vector<PageNum>
-TreePrefetcher::treePrefetches(
-    const std::vector<PageNum> &faulted) const
+void
+TreePrefetcher::treePrefetches(std::vector<PageNum> *out) const
 {
-    // Group the batch's faults by VA block.
-    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> blocks;
-    for (PageNum vpn : faulted)
-        blocks[vpn / pages_per_block_].push_back(
-            static_cast<std::uint32_t>(vpn % pages_per_block_));
-
-    std::vector<PageNum> prefetches;
-    std::unordered_set<PageNum> faulted_set(faulted.begin(),
-                                            faulted.end());
-
-    for (auto &[block, offsets] : blocks) {
+    // Walk the sorted fault list in runs sharing a VA block — the same
+    // per-block analysis as grouping through a map, without building
+    // one. Blocks come out in ascending order and so do each block's
+    // picks, so `out` ends up globally sorted.
+    occupied_.assign(pages_per_block_, 0);
+    fault_in_block_.assign(pages_per_block_, 0);
+    std::size_t i = 0;
+    while (i < sorted_faults_.size()) {
+        const std::uint64_t block = sorted_faults_[i] / pages_per_block_;
+        std::size_t j = i;
+        while (j < sorted_faults_.size() &&
+               sorted_faults_[j] / pages_per_block_ == block) {
+            ++j;
+        }
         const PageNum base = block * pages_per_block_;
+
         // Leaf occupancy: resident pages plus this batch's faults.
-        std::vector<bool> occupied(pages_per_block_, false);
-        for (std::uint32_t i = 0; i < pages_per_block_; ++i)
-            occupied[i] = resident_(base + i);
-        for (std::uint32_t off : offsets)
-            occupied[off] = true;
+        for (std::uint32_t k = 0; k < pages_per_block_; ++k) {
+            occupied_[k] = resident_(base + k) ? 1 : 0;
+            fault_in_block_[k] = 0;
+        }
+        for (std::size_t f = i; f < j; ++f) {
+            const auto off = static_cast<std::uint32_t>(
+                sorted_faults_[f] % pages_per_block_);
+            occupied_[off] = 1;
+            fault_in_block_[off] = 1;
+        }
 
         // Walk subtree sizes 2, 4, ..., pages_per_block_; whenever a
         // subtree is more than `density` full, fill it completely.
-        for (std::uint32_t span = 2; span <= pages_per_block_; span *= 2) {
-            for (std::uint32_t lo = 0; lo < pages_per_block_; lo += span) {
+        for (std::uint32_t span = 2; span <= pages_per_block_;
+             span *= 2) {
+            for (std::uint32_t lo = 0; lo < pages_per_block_;
+                 lo += span) {
                 std::uint32_t count = 0;
-                for (std::uint32_t i = lo; i < lo + span; ++i)
-                    count += occupied[i] ? 1 : 0;
+                for (std::uint32_t k = lo; k < lo + span; ++k)
+                    count += occupied_[k] ? 1 : 0;
                 if (count == span || count == 0)
                     continue;
                 if (static_cast<double>(count) >
                     config_.prefetch_density * span) {
-                    for (std::uint32_t i = lo; i < lo + span; ++i)
-                        occupied[i] = true;
+                    for (std::uint32_t k = lo; k < lo + span; ++k)
+                        occupied_[k] = 1;
                 }
             }
         }
 
-        for (std::uint32_t i = 0; i < pages_per_block_; ++i) {
-            const PageNum vpn = base + i;
-            if (occupied[i] && !resident_(vpn) &&
-                !faulted_set.count(vpn) && valid_(vpn)) {
-                prefetches.push_back(vpn);
+        for (std::uint32_t k = 0; k < pages_per_block_; ++k) {
+            const PageNum vpn = base + k;
+            if (occupied_[k] && !fault_in_block_[k] &&
+                !resident_(vpn) && valid_(vpn)) {
+                out->push_back(vpn);
             }
         }
+        i = j;
     }
-    std::sort(prefetches.begin(), prefetches.end());
-    return prefetches;
 }
 
 } // namespace bauvm

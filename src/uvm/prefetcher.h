@@ -11,6 +11,10 @@
  * batch as prefetch requests. The runtime performs this analysis during
  * batch preprocessing, so prefetches ride along with the demand
  * migrations of the same batch.
+ *
+ * The analysis runs once per batch on persistent scratch buffers (a
+ * sorted copy of the fault list and per-block occupancy bitmaps); after
+ * the first few batches warm the buffers it allocates nothing.
  */
 
 #ifndef BAUVM_UVM_PREFETCHER_H_
@@ -50,30 +54,46 @@ class TreePrefetcher
                    ValidFn valid, const SimHooks &hooks = {});
 
     /**
-     * Computes the prefetch set for one batch.
+     * Computes the prefetch set for one batch into @p out.
      *
-     * @param faulted  distinct demand-faulted pages of the batch.
-     * @return pages to prefetch (disjoint from @p faulted and from
-     *         resident pages), in ascending page order.
+     * @param faulted   distinct demand-faulted pages of the batch.
+     * @param[out] out  pages to prefetch (disjoint from @p faulted and
+     *                  from resident pages), in ascending page order;
+     *                  cleared first. Reusing the same vector across
+     *                  batches keeps the path allocation-free.
      */
-    std::vector<PageNum> computePrefetches(
-        const std::vector<PageNum> &faulted) const;
+    void computePrefetchesInto(const std::vector<PageNum> &faulted,
+                               std::vector<PageNum> *out) const;
+
+    /** Convenience wrapper around computePrefetchesInto() (tests). */
+    std::vector<PageNum>
+    computePrefetches(const std::vector<PageNum> &faulted) const
+    {
+        std::vector<PageNum> out;
+        computePrefetchesInto(faulted, &out);
+        return out;
+    }
 
     std::uint32_t pagesPerBlock() const { return pages_per_block_; }
 
   private:
     /** Tree policy (the default). */
-    std::vector<PageNum> treePrefetches(
-        const std::vector<PageNum> &faulted) const;
+    void treePrefetches(std::vector<PageNum> *out) const;
     /** Naive next-N sequential policy (ablation). */
-    std::vector<PageNum> sequentialPrefetches(
-        const std::vector<PageNum> &faulted) const;
+    void sequentialPrefetches(const std::vector<PageNum> &faulted,
+                              std::vector<PageNum> *out) const;
 
     UvmConfig config_;
     ResidencyFn resident_;
     ValidFn valid_;
     SimHooks hooks_;
     std::uint32_t pages_per_block_;
+
+    // Persistent per-batch scratch (mutable: the compute is logically
+    // const — pure function of the fault list and the callbacks).
+    mutable std::vector<PageNum> sorted_faults_;
+    mutable std::vector<char> occupied_;       //!< one block's leaves
+    mutable std::vector<char> fault_in_block_; //!< one block's faults
 };
 
 } // namespace bauvm

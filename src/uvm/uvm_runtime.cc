@@ -1,6 +1,7 @@
 #include "src/uvm/uvm_runtime.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "src/check/model_auditor.h"
 #include "src/sim/log.h"
@@ -12,16 +13,16 @@ UvmRuntime::UvmRuntime(const UvmConfig &config, EventQueue &events,
                        GpuMemoryManager &manager,
                        MemoryHierarchy &hierarchy, const SimHooks &hooks)
     : hooks_(hooks), config_(config), events_(events), manager_(manager),
-      hierarchy_(hierarchy),
-      fault_buffer_(config.fault_buffer_entries, hooks),
+      hierarchy_(hierarchy), meta_(manager.pageTable().meta()),
+      fault_buffer_(config.fault_buffer_entries, meta_, hooks),
       pcie_(config, hooks),
       pcie_compression_(config.pcie_compression_ratio),
       prefetcher_(
           config,
           [this](PageNum vpn) {
-              return manager_.isResident(vpn) || in_flight_.count(vpn);
+              return manager_.isResident(vpn) || meta_.inFlight(vpn);
           },
-          [this](PageNum vpn) { return valid_pages_.count(vpn) > 0; },
+          [this](PageNum vpn) { return meta_.valid(vpn); },
           hooks),
       handling_cycles_(usToCycles(config.fault_handling_us)),
       interrupt_cycles_(usToCycles(config.interrupt_latency_us))
@@ -34,7 +35,54 @@ UvmRuntime::registerAllocation(VAddr base, std::uint64_t bytes)
     const PageNum first = base / config_.page_bytes;
     const PageNum last = (base + bytes - 1) / config_.page_bytes;
     for (PageNum vpn = first; vpn <= last; ++vpn)
-        valid_pages_.insert(vpn);
+        meta_.ensure(vpn).setValid(true);
+}
+
+void
+UvmRuntime::appendWaiter(PageNum vpn, WakeFn waiter)
+{
+    std::uint32_t idx;
+    if (waiter_free_ != PageMeta::kNoIndex) {
+        idx = waiter_free_;
+        waiter_free_ = waiter_slab_[idx].next;
+    } else {
+        idx = static_cast<std::uint32_t>(waiter_slab_.size());
+        waiter_slab_.emplace_back();
+    }
+    WaiterNode &node = waiter_slab_[idx];
+    node.fn = std::move(waiter);
+    node.next = PageMeta::kNoIndex;
+
+    PageMeta &m = meta_.ensure(vpn);
+    if (m.waiter_tail != PageMeta::kNoIndex)
+        waiter_slab_[m.waiter_tail].next = idx;
+    else
+        m.waiter_head = idx;
+    m.waiter_tail = idx;
+}
+
+void
+UvmRuntime::wakeWaiters(PageNum vpn, Cycle now)
+{
+    const PageMeta *m = meta_.find(vpn);
+    if (m == nullptr || m->waiter_head == PageMeta::kNoIndex)
+        return;
+    // Detach the whole list first: a woken warp may refault and
+    // re-register on the same page, which must start a fresh list.
+    std::uint32_t i = m->waiter_head;
+    PageMeta &mut = meta_.at(vpn);
+    mut.waiter_head = mut.waiter_tail = PageMeta::kNoIndex;
+    while (i != PageMeta::kNoIndex) {
+        // Recycle the node before invoking: the callback may append
+        // new waiters (possibly growing the slab), so take everything
+        // we need out of the node first and touch it no more.
+        WakeFn fn = std::move(waiter_slab_[i].fn);
+        const std::uint32_t next = waiter_slab_[i].next;
+        waiter_slab_[i].next = waiter_free_;
+        waiter_free_ = i;
+        fn(now);
+        i = next;
+    }
 }
 
 void
@@ -47,8 +95,8 @@ UvmRuntime::onPageFault(PageNum vpn, WakeFn waiter)
         waiter(now);
         return;
     }
-    waiters_[vpn].push_back(std::move(waiter));
-    if (in_flight_.count(vpn)) {
+    appendWaiter(vpn, std::move(waiter));
+    if (meta_.inFlight(vpn)) {
         // Already queued in the active batch; the waiter joins it.
         return;
     }
@@ -87,40 +135,35 @@ UvmRuntime::batchBegin()
         launchEviction(events_.now());
     }
 
-    std::vector<FaultRecord> faults = fault_buffer_.drain();
-    std::vector<PageNum> demand;
-    demand.reserve(faults.size());
-    for (const FaultRecord &f : faults) {
+    fault_buffer_.drainInto(drained_faults_);
+    demand_.clear();
+    for (const FaultRecord &f : drained_faults_) {
         if (manager_.isResident(f.vpn)) {
             // Resolved by a prefetch of a previous batch: replay.
-            auto w = waiters_.find(f.vpn);
-            if (w != waiters_.end()) {
-                for (auto &wake : w->second)
-                    wake(events_.now());
-                waiters_.erase(w);
-            }
+            wakeWaiters(f.vpn, events_.now());
             continue;
         }
-        demand.push_back(f.vpn);
+        demand_.push_back(f.vpn);
         current_.duplicate_faults += f.duplicates - 1;
     }
-    std::sort(demand.begin(), demand.end());
+    std::sort(demand_.begin(), demand_.end());
 
-    std::vector<PageNum> prefetch;
+    prefetch_.clear();
     if (config_.prefetch_enabled)
-        prefetch = prefetcher_.computePrefetches(demand);
+        prefetcher_.computePrefetchesInto(demand_, &prefetch_);
 
-    current_.fault_pages = static_cast<std::uint32_t>(demand.size());
-    current_.prefetch_pages = static_cast<std::uint32_t>(prefetch.size());
-    demand_pages_ += demand.size();
-    prefetched_pages_ += prefetch.size();
+    current_.fault_pages = static_cast<std::uint32_t>(demand_.size());
+    current_.prefetch_pages =
+        static_cast<std::uint32_t>(prefetch_.size());
+    demand_pages_ += demand_.size();
+    prefetched_pages_ += prefetch_.size();
 
     migration_queue_.clear();
-    migration_queue_.reserve(demand.size() + prefetch.size());
-    std::merge(demand.begin(), demand.end(), prefetch.begin(),
-               prefetch.end(), std::back_inserter(migration_queue_));
+    migration_queue_.reserve(demand_.size() + prefetch_.size());
+    std::merge(demand_.begin(), demand_.end(), prefetch_.begin(),
+               prefetch_.end(), std::back_inserter(migration_queue_));
     for (PageNum vpn : migration_queue_)
-        in_flight_.insert(vpn);
+        meta_.ensure(vpn).setInFlight(true);
 
     // Preprocessing (sort, prefetch analysis, CPU page-table walks):
     // the GPU runtime fault handling time, with a per-fault component
@@ -266,16 +309,10 @@ UvmRuntime::onPageArrived(PageNum vpn)
 {
     const Cycle now = events_.now();
     manager_.commitPage(vpn, now);
-    in_flight_.erase(vpn);
+    meta_.at(vpn).setInFlight(false);
     --arrivals_pending_;
 
-    auto w = waiters_.find(vpn);
-    if (w != waiters_.end()) {
-        auto wakes = std::move(w->second);
-        waiters_.erase(w);
-        for (auto &wake : wakes)
-            wake(now);
-    }
+    wakeWaiters(vpn, now);
     pumpMigrations();
 }
 

@@ -20,6 +20,13 @@
  *   5. Each arrival maps the page and wakes the waiting warps. After the
  *      last arrival the batch ends; if more faults are pending the next
  *      batch starts immediately (no interrupt round trip).
+ *
+ * Metadata layout: page validity, in-flight status and the per-page
+ * waiter list all live in the shared dense PageMetaTable. Waiter
+ * callbacks are pooled in a slab of nodes (InlineFunction storage, free
+ * list reuse) linked through PageMeta::waiter_head/tail, and the batch
+ * scratch vectors persist across batches — the steady-state fault path
+ * performs no heap allocation.
  */
 
 #ifndef BAUVM_UVM_UVM_RUNTIME_H_
@@ -27,14 +34,14 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "src/check/sim_hooks.h"
 #include "src/mem/memory_hierarchy.h"
+#include "src/mem/page_meta.h"
 #include "src/sim/config.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/inline_function.h"
 #include "src/sim/types.h"
 #include "src/trace/trace_sink.h"
 #include "src/uvm/compression.h"
@@ -70,8 +77,13 @@ struct BatchRecord {
 class UvmRuntime
 {
   public:
-    /** Callback waking a faulted warp once its page is resident. */
-    using WakeFn = std::function<void(Cycle)>;
+    /**
+     * Callback waking a faulted warp once its page is resident.
+     * Stored inline in a pooled slab node; 48 bytes of capture is
+     * plenty for the SM's replay closures, and anything bigger falls
+     * back to one counted heap cell rather than failing.
+     */
+    using WakeFn = InlineFunction<48, void(Cycle)>;
     /** Callback receiving oversubscription advice after each batch. */
     using AdviceFn = std::function<void(OversubAdvice)>;
 
@@ -145,6 +157,12 @@ class UvmRuntime
   private:
     enum class State { Idle, InterruptPending, BatchActive };
 
+    /** One pooled waiter callback, linked off PageMeta::waiter_head. */
+    struct WaiterNode {
+        WakeFn fn;
+        std::uint32_t next = PageMeta::kNoIndex;
+    };
+
     void batchBegin();
     void pumpMigrations();
     void scheduleMigration(PageNum vpn);
@@ -155,11 +173,17 @@ class UvmRuntime
     void batchEnd();
     void maybeProactiveEvict();
 
+    /** Appends @p waiter to @p vpn's intrusive FIFO waiter list. */
+    void appendWaiter(PageNum vpn, WakeFn waiter);
+    /** Detaches @p vpn's waiter list and invokes it in FIFO order. */
+    void wakeWaiters(PageNum vpn, Cycle now);
+
     SimHooks hooks_;
     UvmConfig config_;
     EventQueue &events_;
     GpuMemoryManager &manager_;
     MemoryHierarchy &hierarchy_;
+    PageMetaTable &meta_; //!< shared dense page metadata
     FaultBuffer fault_buffer_;
     PcieLink pcie_;
     CompressionModel pcie_compression_;
@@ -169,11 +193,14 @@ class UvmRuntime
     Cycle handling_cycles_;
     Cycle interrupt_cycles_;
 
-    std::unordered_set<PageNum> valid_pages_;
-    std::unordered_map<PageNum, std::vector<WakeFn>> waiters_;
-    std::unordered_set<PageNum> in_flight_; //!< queued or transferring in
+    /** Waiter slab: nodes are recycled through an intrusive free list. */
+    std::vector<WaiterNode> waiter_slab_;
+    std::uint32_t waiter_free_ = PageMeta::kNoIndex;
 
-    // Current batch.
+    // Current batch (scratch vectors persist across batches).
+    std::vector<FaultRecord> drained_faults_;
+    std::vector<PageNum> demand_;
+    std::vector<PageNum> prefetch_;
     std::vector<PageNum> migration_queue_;
     std::size_t mig_idx_ = 0;
     std::uint32_t arrivals_pending_ = 0;

@@ -106,6 +106,51 @@ TEST(AssocArray, InvalidateIfPredicate)
     EXPECT_TRUE(a.probe(1));
 }
 
+TEST(AssocArray, InvalidateFullyClearsLineState)
+{
+    AssocArray a(4, 2);
+    a.insert(0);
+    a.insert(2);
+    a.lookup(2); // give both lines nonzero last_use
+    ASSERT_TRUE(a.invalidate(2));
+
+    // The dead line must be wiped completely: a stale key could match
+    // in a loop that forgets the valid check, and a stale last_use
+    // would bias LRU victim choice.
+    bool found_cleared = false;
+    for (std::size_t s = 0; s < a.numSets(); ++s) {
+        for (std::size_t w = 0; w < a.numWays(); ++w) {
+            const auto l = a.lineAt(s, w);
+            if (l.valid)
+                continue;
+            EXPECT_EQ(l.key, 0u);
+            EXPECT_EQ(l.last_use, 0u);
+            found_cleared = true;
+        }
+    }
+    EXPECT_TRUE(found_cleared);
+
+    // And a cleared line is treated as empty, not as the LRU loser:
+    // the next insert into that set reuses it without displacing 0.
+    std::uint64_t evicted = 0;
+    EXPECT_FALSE(a.insert(4, &evicted));
+    EXPECT_TRUE(a.probe(0));
+}
+
+TEST(AssocArray, FlushClearsLineStateEverywhere)
+{
+    AssocArray a(8, 0);
+    for (std::uint64_t k = 0; k < 8; ++k)
+        a.insert(k);
+    a.flush();
+    for (std::size_t w = 0; w < a.numWays(); ++w) {
+        const auto l = a.lineAt(0, w);
+        EXPECT_FALSE(l.valid);
+        EXPECT_EQ(l.key, 0u);
+        EXPECT_EQ(l.last_use, 0u);
+    }
+}
+
 TEST(AssocArray, ProbeDoesNotDisturbLru)
 {
     AssocArray a(4, 2);

@@ -123,7 +123,8 @@ class FaultBufferCapacity
 
 TEST_P(FaultBufferCapacity, NeverHoldsMoreThanCapacity)
 {
-    FaultBuffer fb(GetParam());
+    PageMetaTable meta;
+    FaultBuffer fb(GetParam(), meta);
     for (PageNum p = 0; p < 4096; ++p)
         fb.insert(p, p);
     EXPECT_LE(fb.size(), GetParam());
@@ -132,7 +133,8 @@ TEST_P(FaultBufferCapacity, NeverHoldsMoreThanCapacity)
 TEST_P(FaultBufferCapacity, DrainsEverythingEventually)
 {
     const std::uint32_t cap = GetParam();
-    FaultBuffer fb(cap);
+    PageMetaTable meta;
+    FaultBuffer fb(cap, meta);
     const PageNum total = cap * 3;
     for (PageNum p = 0; p < total; ++p)
         fb.insert(p, p);

@@ -286,13 +286,25 @@ TEST(SweepResult, JsonExportCarriesSchemaAndCells)
     const SweepResult sweep = runner.run();
     const std::string json = sweep.toJson();
 
-    EXPECT_NE(json.find("\"schema\": \"bauvm.sweep/1\""),
+    EXPECT_NE(json.find("\"schema\": \"bauvm.sweep/1.1\""),
               std::string::npos);
     EXPECT_NE(json.find("\"bench\": \"test_export\""),
               std::string::npos);
     EXPECT_NE(json.find("\"workload\": \"BFS-TTC\""),
               std::string::npos);
     EXPECT_NE(json.find("\"cycles\": "), std::string::npos);
+    // Memory data path counters added in schema minor /1.1.
+    EXPECT_NE(json.find("\"translations\": "), std::string::npos);
+    EXPECT_NE(json.find("\"tlb_hit_rate\": "), std::string::npos);
+    EXPECT_NE(json.find("\"faults_per_kcycle\": "), std::string::npos);
+
+    ASSERT_EQ(sweep.cells.size(), 1u);
+    ASSERT_TRUE(sweep.cells[0].ok);
+    const RunResult &r = sweep.cells[0].result;
+    EXPECT_GT(r.translations, 0u);
+    EXPECT_GE(r.tlb_hit_rate, 0.0);
+    EXPECT_LE(r.tlb_hit_rate, 1.0);
+    EXPECT_GE(r.faults_per_kcycle, 0.0);
 
     const std::string path = ::testing::TempDir() + "sweep_test.json";
     EXPECT_TRUE(sweep.writeJson(path));

@@ -84,7 +84,8 @@ TEST(PcieLink, StatsPerDirection)
 
 TEST(FaultBuffer, DeduplicatesPerPage)
 {
-    FaultBuffer fb(8);
+    PageMetaTable meta;
+    FaultBuffer fb(8, meta);
     fb.insert(5, 10);
     fb.insert(5, 11);
     fb.insert(6, 12);
@@ -99,7 +100,8 @@ TEST(FaultBuffer, DeduplicatesPerPage)
 
 TEST(FaultBuffer, OverflowQueuesAndRefills)
 {
-    FaultBuffer fb(2);
+    PageMetaTable meta;
+    FaultBuffer fb(2, meta);
     fb.insert(1, 0);
     fb.insert(2, 0);
     fb.insert(3, 0); // overflow
@@ -116,7 +118,8 @@ TEST(FaultBuffer, OverflowQueuesAndRefills)
 
 TEST(FaultBuffer, CountsTotalFaults)
 {
-    FaultBuffer fb(8);
+    PageMetaTable meta;
+    FaultBuffer fb(8, meta);
     fb.insert(1, 0);
     fb.insert(1, 1);
     fb.insert(2, 2);
