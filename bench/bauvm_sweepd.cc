@@ -1,0 +1,88 @@
+/**
+ * @file
+ * bauvm_sweepd: the sweep-service daemon entry point.
+ *
+ * Starts a SweepService (src/serve/sweep_service.h) on a Unix-domain
+ * socket and serves bauvm.sweep-request/1 submissions until SIGTERM/
+ * SIGINT. Pair it with bauvm_submit:
+ *
+ *   bauvm_sweepd --socket /tmp/bauvm.sock --cache .bauvm-cells &
+ *   bauvm_submit --socket /tmp/bauvm.sock --request matrix.json \
+ *                --json out.json
+ *
+ * Because finished cells checkpoint into the content-addressed cache,
+ * SIGKILLing the daemon mid-sweep loses only in-flight cells: restart
+ * it on the same --cache and resubmit, and the sweep resumes.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/serve/sweep_service.h"
+#include "src/sim/log.h"
+
+namespace
+{
+
+void
+printUsage(std::FILE *out)
+{
+    std::fprintf(
+        out,
+        "usage: bauvm_sweepd --socket PATH [options]\n"
+        "  --socket PATH     Unix-domain socket to listen on\n"
+        "  --cache DIR       content-addressed result cache "
+        "(checkpoint/resume/dedupe; default: .bauvm-cells)\n"
+        "  --no-cache        disable the result cache\n"
+        "  --max-workers N   clamp per-request worker processes "
+        "(0 = unclamped, default)\n"
+        "  --quiet           no per-request stderr logging\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bauvm::SweepServiceOptions opt;
+    opt.cache_dir = ".bauvm-cells";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&](const char *what) -> std::string {
+            if (i + 1 >= argc)
+                bauvm::fatal("missing value for %s", what);
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            opt.socket_path = next("--socket");
+        } else if (arg == "--cache") {
+            opt.cache_dir = next("--cache");
+        } else if (arg == "--no-cache") {
+            opt.cache_dir.clear();
+        } else if (arg == "--max-workers") {
+            opt.max_workers = static_cast<std::size_t>(
+                std::strtoull(next("--max-workers").c_str(), nullptr,
+                              10));
+        } else if (arg == "--quiet") {
+            opt.verbose = false;
+        } else if (arg == "--help" || arg == "-h") {
+            printUsage(stdout);
+            return 0;
+        } else {
+            printUsage(stderr);
+            bauvm::fatal("unknown argument '%s'", arg.c_str());
+        }
+    }
+    if (opt.socket_path.empty()) {
+        printUsage(stderr);
+        bauvm::fatal("--socket is required");
+    }
+
+    bauvm::SweepService service(std::move(opt));
+    std::string error;
+    if (!service.start(&error))
+        bauvm::fatal("%s", error.c_str());
+    return service.run();
+}

@@ -4,10 +4,12 @@ baseline (BENCH_sim_throughput.json, schema bauvm.perfsmoke/1).
 
 Usage: ci/check_perf.py BASELINE.json FRESH.json [--threshold 0.15]
 
-For every shape present in both documents, compares the production
-events_per_sec and emits a GitHub ::warning annotation when the fresh
-number regressed by more than the threshold. Shapes only present on
-one side are reported informationally (new shape / retired shape).
+For every shape present in both documents — the micro "speedups"
+section and the end-to-end "e2e" section (whole fig11 sweeps,
+compared on cells_per_sec) — compares throughput and emits a GitHub
+::warning annotation when the fresh number regressed by more than the
+threshold. Shapes only present on one side are reported
+informationally (new shape / retired shape).
 
 Always exits 0: shared CI runners are far too noisy to gate on
 throughput — the warnings and the uploaded artifact are the signal.
@@ -18,7 +20,9 @@ import json
 import sys
 
 
-def load_speedups(path):
+def load_shapes(path):
+    """Returns {shape: (rate, unit)} across both artifact sections,
+    or None when the document is not a perfsmoke artifact."""
     with open(path) as f:
         doc = json.load(f)
     schema = doc.get("schema", "")
@@ -26,7 +30,15 @@ def load_speedups(path):
         print(f"::warning::check_perf: {path} has schema '{schema}', "
               "expected bauvm.perfsmoke/1 — skipping comparison")
         return None
-    return doc.get("speedups", {})
+    shapes = {}
+    for shape, s in doc.get("speedups", {}).items():
+        shapes[shape] = (s.get("events_per_sec", 0.0), "M/s")
+    for shape, s in doc.get("e2e", {}).items():
+        # cells_per_sec is the end-to-end signal; events_per_sec is
+        # the fallback for artifacts predating the cells counter.
+        rate = s.get("cells_per_sec") or s.get("events_per_sec", 0.0)
+        shapes[shape] = (rate, "cells/s")
+    return shapes
 
 
 def main():
@@ -38,8 +50,8 @@ def main():
     args = ap.parse_args()
 
     try:
-        base = load_speedups(args.baseline)
-        fresh = load_speedups(args.fresh)
+        base = load_shapes(args.baseline)
+        fresh = load_shapes(args.fresh)
     except (OSError, json.JSONDecodeError) as e:
         print(f"::warning::check_perf: cannot compare ({e})")
         return 0
@@ -54,17 +66,18 @@ def main():
         if shape not in base:
             print(f"check_perf: {shape}: new shape, no baseline")
             continue
-        old = base[shape].get("events_per_sec", 0.0)
-        new = fresh[shape].get("events_per_sec", 0.0)
+        old, unit = base[shape]
+        new, _ = fresh[shape]
         if not old or not new:
             continue
+        scale = 1e6 if unit == "M/s" else 1.0
         delta = (new - old) / old
-        line = (f"check_perf: {shape:<16} {old / 1e6:8.2f} -> "
-                f"{new / 1e6:8.2f} M/s ({delta:+.1%})")
+        line = (f"check_perf: {shape:<16} {old / scale:8.2f} -> "
+                f"{new / scale:8.2f} {unit} ({delta:+.1%})")
         if delta < -args.threshold:
             regressions += 1
             print(f"::warning::perf regression {shape}: "
-                  f"{old / 1e6:.2f} -> {new / 1e6:.2f} M/s "
+                  f"{old / scale:.2f} -> {new / scale:.2f} {unit} "
                   f"({delta:+.1%}, threshold -{args.threshold:.0%})")
         print(line)
 

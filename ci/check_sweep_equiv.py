@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Asserts that sweep documents are equivalent modulo provenance.
+
+Usage: ci/check_sweep_equiv.py REFERENCE.json OTHER.json [OTHER2.json ...]
+
+The sweep service's contract is that sharding, hard kills, and
+cache-resumed reruns never change simulated results: a sweep produced
+by bauvm_sweepd across N forked workers (possibly SIGKILLed and
+resubmitted) must match the serial in-process run cell for cell.
+
+Only execution provenance is allowed to differ — wall-clock timings,
+worker identity, and cache attribution.  Everything else, including
+every simulated counter, seed, digest, and the cell order, must be
+identical.  Exits 1 with a field-level diff on the first mismatch:
+unlike the perf smoke, this is a correctness gate.
+"""
+
+import json
+import sys
+
+# Fields that legitimately differ between executions of the same cell:
+# timings, parallelism, worker identity, and cache attribution.
+PROVENANCE = {
+    "wall_s",
+    "host_wall_s",
+    "events_per_sec",
+    "elapsed_s",
+    "jobs",
+    "worker_pid",
+    "hostname",
+    "cached",
+}
+
+
+def strip(node):
+    if isinstance(node, dict):
+        return {k: strip(v) for k, v in node.items()
+                if k not in PROVENANCE}
+    if isinstance(node, list):
+        return [strip(v) for v in node]
+    return node
+
+
+def diff(ref, other, path=""):
+    """Yields human-readable paths where the two documents differ."""
+    if type(ref) is not type(other):
+        yield f"{path or '/'}: type {type(ref).__name__} vs " \
+              f"{type(other).__name__}"
+        return
+    if isinstance(ref, dict):
+        for key in sorted(set(ref) | set(other)):
+            sub = f"{path}.{key}" if path else key
+            if key not in ref:
+                yield f"{sub}: only in candidate"
+            elif key not in other:
+                yield f"{sub}: only in reference"
+            else:
+                yield from diff(ref[key], other[key], sub)
+    elif isinstance(ref, list):
+        if len(ref) != len(other):
+            yield f"{path}: length {len(ref)} vs {len(other)}"
+            return
+        for i, (a, b) in enumerate(zip(ref, other)):
+            yield from diff(a, b, f"{path}[{i}]")
+    elif ref != other:
+        yield f"{path}: {ref!r} vs {other!r}"
+
+
+def main():
+    if len(sys.argv) < 3:
+        print(__doc__.strip().splitlines()[2])
+        return 2
+    ref_path = sys.argv[1]
+    with open(ref_path) as f:
+        ref = strip(json.load(f))
+    if not str(ref.get("schema", "")).startswith("bauvm.sweep/1"):
+        print(f"check_sweep_equiv: {ref_path} is not a bauvm.sweep/1 "
+              "document")
+        return 1
+
+    failed = 0
+    for path in sys.argv[2:]:
+        with open(path) as f:
+            cand = strip(json.load(f))
+        mismatches = list(diff(ref, cand))
+        if mismatches:
+            failed += 1
+            print(f"check_sweep_equiv: {path} differs from {ref_path} "
+                  f"beyond provenance ({len(mismatches)} field(s)):")
+            for m in mismatches[:20]:
+                print(f"  {m}")
+            if len(mismatches) > 20:
+                print(f"  ... {len(mismatches) - 20} more")
+        else:
+            cells = len(cand.get("cells", []))
+            print(f"check_sweep_equiv: {path} == {ref_path} "
+                  f"({cells} cells, provenance stripped)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,7 +21,7 @@ printBenchUsage(std::FILE *out)
         out,
         "options: --scale tiny|small|medium|large --ratio R "
         "--seed N --csv --jobs N --json PATH --timeout S "
-        "--trace[=DIR] --audit\n"
+        "--trace[=DIR] --audit --resume[=DIR]\n"
         "  --jobs N     sweep worker threads "
         "(0 = hardware concurrency, default)\n"
         "  --json PATH  export sweep results as JSON "
@@ -31,7 +31,10 @@ printBenchUsage(std::FILE *out)
         "one counter CSV per sweep cell (default dir: "
         "traces)\n"
         "  --audit      run every cell under the online model "
-        "auditor (invariant violations fail the cell)\n");
+        "auditor (invariant violations fail the cell)\n"
+        "  --resume[=DIR] checkpoint finished cells in a content-\n"
+        "               addressed on-disk cache and load them on the\n"
+        "               next run (default dir: .bauvm-cells)\n");
 }
 
 } // namespace
@@ -97,6 +100,12 @@ parseBenchArgs(int argc, char **argv)
                 fatal("--trace= requires a directory");
         } else if (arg == "--audit") {
             opt.audit = true;
+        } else if (arg == "--resume") {
+            opt.resume_dir = ".bauvm-cells";
+        } else if (arg.rfind("--resume=", 0) == 0) {
+            opt.resume_dir = arg.substr(std::strlen("--resume="));
+            if (opt.resume_dir.empty())
+                fatal("--resume= requires a directory");
         } else if (arg == "--help" || arg == "-h") {
             printBenchUsage(stdout);
             std::exit(0);

@@ -43,11 +43,16 @@ struct BenchOptions {
     std::string trace_dir;
     /** Run every cell under the online ModelAuditor (src/check). */
     bool audit = false;
+    /** Resume cache directory ("" = off): finished ok cells are
+     *  checkpointed by content address (src/serve/result_cache.h)
+     *  and loaded instead of recomputed on the next run. */
+    std::string resume_dir;
 };
 
 /**
  * Parses --scale tiny|small|medium|large, --csv, --ratio R, --seed N,
- * --jobs N, --json PATH, --timeout S, --trace[=DIR], --audit.
+ * --jobs N, --json PATH, --timeout S, --trace[=DIR], --audit,
+ * --resume[=DIR].
  *
  * An unknown argument prints the usage text to stderr and exits with an
  * error (fatal(), so a ScopedAbortCapture turns it into SimAbort).

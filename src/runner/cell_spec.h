@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Declarative cell specifications and content addresses.
+ *
+ * A CellSpec is the wire-friendly description of one sweep cell: the
+ * (workload, policy, variant, scale, seed) coordinates plus a list of
+ * *declarative* config overrides (named knob = numeric value) instead
+ * of the in-process std::function mutations SweepSpec carries. It is
+ * what the sweep service ships to worker processes and what both the
+ * service and the in-process SweepRunner digest for the
+ * content-addressed result cache.
+ *
+ * Content addressing: cellKey() canonicalizes the *final* SimConfig —
+ * every field, in a fixed order, doubles at full precision — together
+ * with the workload name, scale and the producing git revision, and
+ * digestHex() folds that key into a 128-bit hex digest. Keying on the
+ * final config (not on how it was reached) means a cell produced via a
+ * policy preset, a named variant mutation, or a declarative override
+ * dedupes identically, and any config change invalidates the address.
+ * Function-valued variant mutations are code, so the git revision in
+ * the key is what keys their behaviour.
+ *
+ * executeCell() is the one shared cell executor: abort capture, soft
+ * timeout, optional per-cell trace flush, and provenance stamping
+ * (digest, worker pid, hostname). SweepRunner's thread-pool path and
+ * the sweep service's forked workers both run cells through it, which
+ * is what keeps sharded results bit-identical to serial ones.
+ */
+
+#ifndef BAUVM_RUNNER_CELL_SPEC_H_
+#define BAUVM_RUNNER_CELL_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/presets.h"
+#include "src/runner/job.h"
+#include "src/workloads/workload.h"
+
+namespace bauvm
+{
+
+/**
+ * One declarative config mutation: a registered knob name (e.g.
+ * "uvm.fault_buffer_entries") and its numeric value. Booleans are 0/1.
+ */
+struct ConfigOverride {
+    std::string key;
+    double value = 0.0;
+};
+
+/**
+ * Applies a registered override to @p config. @return false when the
+ * key is unknown (the config is untouched).
+ */
+bool applyConfigOverride(SimConfig &config, const std::string &key,
+                         double value);
+
+/** All registered override keys, sorted, for diagnostics/usage. */
+std::vector<std::string> knownOverrideKeys();
+
+/** The declarative, serializable description of one sweep cell. */
+struct CellSpec {
+    std::string workload;
+    Policy policy = Policy::Baseline;
+    std::string variant; //!< label only; body is in `overrides`
+    std::vector<ConfigOverride> overrides;
+    WorkloadScale scale = WorkloadScale::Small;
+    double ratio = 0.5;
+    std::uint64_t base_seed = 1;
+    bool audit = false;
+};
+
+/**
+ * Builds the final SimConfig for @p spec: paperConfig(ratio, derived
+ * workload seed) + applyPolicy + overrides (fatal() on an unknown
+ * key) + audit flag.
+ */
+SimConfig cellConfig(const CellSpec &spec);
+
+/** deriveJobSeed for the spec's coordinates (exported provenance). */
+std::uint64_t cellJobSeed(const CellSpec &spec);
+
+/**
+ * Canonical, order-fixed serialization of every SimConfig field.
+ * Doubles print with %.17g so the string round-trips exactly.
+ */
+std::string canonicalConfigString(const SimConfig &config);
+
+/**
+ * The full content-address key of one cell:
+ * "bauvm.cell/1|<git_rev>|<workload>|<scale>|<canonical config>".
+ * The config embeds the seed and memory ratio, so they need no
+ * separate lanes.
+ */
+std::string cellKey(const std::string &workload, WorkloadScale scale,
+                    const SimConfig &config,
+                    const std::string &git_rev);
+
+/** 128-bit (32 hex chars) digest of @p key: two independent FNV-1a
+ *  lanes, each splitmix-finalized. */
+std::string digestHex(const std::string &key);
+
+/**
+ * The producing git revision baked in at configure time
+ * (BAUVM_GIT_REV compile definition), overridable with the
+ * BAUVM_GIT_REV environment variable; "unknown" when neither exists.
+ */
+std::string gitRev();
+
+/** Cached gethostname(), "unknown" on failure. */
+std::string hostName();
+
+/** Everything executeCell() needs to run one cell. */
+struct CellExecArgs {
+    std::string workload;
+    Policy policy = Policy::Baseline;
+    std::string variant;
+    std::uint64_t job_seed = 0; //!< exported unique per-cell seed
+    WorkloadScale scale = WorkloadScale::Small;
+    SimConfig config;           //!< final config (seed already set)
+    double soft_timeout_s = 0.0;
+    std::string git_rev;        //!< for the digest; gitRev() if empty
+
+    // In-process tracing (sweep service workers leave these empty).
+    std::string trace_dir;      //!< "" disables the per-cell flush
+    std::string trace_stem;     //!< file stem inside trace_dir
+    std::string trace_bench;    //!< TraceMeta.bench
+    double trace_ratio = 0.0;   //!< TraceMeta.ratio
+};
+
+/**
+ * Runs one cell with abort capture; never throws. Stamps provenance:
+ * digest (pure function of the config — deterministic), worker pid,
+ * hostname, and the soft-timeout verdict. config.trace.enabled is
+ * derived from trace_dir.
+ */
+CellOutcome executeCell(const CellExecArgs &args);
+
+} // namespace bauvm
+
+#endif // BAUVM_RUNNER_CELL_SPEC_H_

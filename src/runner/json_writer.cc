@@ -194,6 +194,20 @@ JsonWriter::field(const std::string &k, double v)
 }
 
 void
+JsonWriter::rawField(const std::string &k, const std::string &raw_json)
+{
+    key(k);
+    raw(raw_json);
+}
+
+void
+JsonWriter::rawValue(const std::string &raw_json)
+{
+    comma();
+    raw(raw_json);
+}
+
+void
 JsonWriter::value(const std::string &v)
 {
     comma();

@@ -45,6 +45,17 @@ class JsonWriter
     void value(std::uint64_t v);
     void value(double v);
 
+    /**
+     * Splices @p raw_json — an already-serialized JSON value — as the
+     * member @p key. The caller owns its validity; commas/indentation
+     * around it are still managed. Used to embed compact sub-documents
+     * (a cached cell, a merged sweep) without re-parsing.
+     */
+    void rawField(const std::string &key, const std::string &raw_json);
+
+    /** rawField()'s array twin: splices @p raw_json as one element. */
+    void rawValue(const std::string &raw_json);
+
     /** Finished document. panic()s if scopes are unbalanced. */
     std::string str() const;
 

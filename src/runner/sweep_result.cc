@@ -70,10 +70,52 @@ writeRunResult(JsonWriter &w, const RunResult &r)
 
 } // namespace
 
-std::string
-SweepResult::toJson() const
+void
+writeCellJson(JsonWriter &w, const CellOutcome &c,
+              bool with_batch_records)
 {
-    JsonWriter w;
+    w.beginObject();
+    w.field("workload", c.workload);
+    w.field("policy", policyName(c.policy));
+    w.field("variant", c.variant);
+    w.field("seed", c.seed);
+    w.field("job_seed", c.job_seed);
+    w.field("ok", c.ok);
+    w.field("timed_out", c.timed_out);
+    w.field("error", c.error);
+    w.field("wall_s", c.wall_s);
+    w.field("digest", c.digest);
+    w.field("worker_pid", c.worker_pid);
+    w.field("hostname", c.hostname);
+    w.field("cached", c.from_cache);
+    if (c.ok) {
+        writeRunResult(w, c.result);
+        if (with_batch_records) {
+            // All seven BatchRecord fields, positionally, so a cached
+            // cell replays Figs 3/12-16 without loss.
+            w.beginArray("batch_records");
+            for (const BatchRecord &b : c.result.batch_records) {
+                w.beginArray();
+                w.value(static_cast<std::uint64_t>(b.begin));
+                w.value(static_cast<std::uint64_t>(b.first_transfer));
+                w.value(static_cast<std::uint64_t>(b.end));
+                w.value(static_cast<std::uint64_t>(b.fault_pages));
+                w.value(static_cast<std::uint64_t>(b.prefetch_pages));
+                w.value(
+                    static_cast<std::uint64_t>(b.duplicate_faults));
+                w.value(b.migrated_bytes);
+                w.endArray();
+            }
+            w.endArray();
+        }
+    }
+    w.endObject();
+}
+
+std::string
+SweepResult::toJson(bool pretty) const
+{
+    JsonWriter w(pretty);
     w.beginObject();
     w.field("schema", kSchema);
     w.field("bench", bench);
@@ -83,21 +125,8 @@ SweepResult::toJson() const
     w.field("jobs", static_cast<std::uint64_t>(jobs));
     w.field("elapsed_s", elapsed_s);
     w.beginArray("cells");
-    for (const auto &c : cells) {
-        w.beginObject();
-        w.field("workload", c.workload);
-        w.field("policy", policyName(c.policy));
-        w.field("variant", c.variant);
-        w.field("seed", c.seed);
-        w.field("job_seed", c.job_seed);
-        w.field("ok", c.ok);
-        w.field("timed_out", c.timed_out);
-        w.field("error", c.error);
-        w.field("wall_s", c.wall_s);
-        if (c.ok)
-            writeRunResult(w, c.result);
-        w.endObject();
-    }
+    for (const auto &c : cells)
+        writeCellJson(w, c);
     w.endArray();
     w.endObject();
     return w.str();

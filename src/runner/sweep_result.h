@@ -4,9 +4,9 @@
  * sweep-level metadata, exportable as schema-versioned JSON alongside
  * the Table/CSV output the bench binaries already print.
  *
- * JSON schema "bauvm.sweep/1.1":
+ * JSON schema "bauvm.sweep/1.2":
  * {
- *   "schema": "bauvm.sweep/1.1",
+ *   "schema": "bauvm.sweep/1.2",
  *   "bench": "<bench name>",
  *   "base_seed": u64, "scale": "tiny|small|medium|large",
  *   "ratio": f64, "jobs": u64, "elapsed_s": f64,
@@ -14,6 +14,8 @@
  *     { "workload": str, "policy": str, "variant": str,
  *       "seed": u64, "job_seed": u64,
  *       "ok": bool, "timed_out": bool, "error": str, "wall_s": f64,
+ *       "digest": str, "worker_pid": u64, "hostname": str,
+ *       "cached": bool,
  *       "result": { <RunResult scalar fields> }   // present iff ok
  *     }, ...
  *   ]
@@ -25,6 +27,11 @@
  * Minor /1.1 adds the deterministic memory data path counters
  * "translations", "tlb_hit_rate" and "faults_per_kcycle"; consumers
  * keyed on the "bauvm.sweep/1" prefix keep working.
+ * Minor /1.2 adds per-cell provenance for sharded/resumed sweeps:
+ * "digest" (the content address from cell_spec.h — deterministic),
+ * plus "worker_pid", "hostname" and "cached", which record *where* a
+ * result came from and are excluded from determinism comparisons
+ * alongside the wall-clock fields (see ci/check_sweep_equiv.py).
  * Cells appear in deterministic matrix order (variant-major, then
  * workload, then policy), never in completion order.
  */
@@ -42,12 +49,24 @@
 namespace bauvm
 {
 
+class JsonWriter;
+
+/**
+ * Serializes one cell outcome as a JSON object (the element shape of
+ * the "cells" array above). With @p with_batch_records, the per-batch
+ * records are appended as "batch_records": [[begin, end, pages], ...]
+ * — used by the on-disk result cache so a replayed cell keeps the
+ * data Figs 12-16 derive from; the sweep export itself omits them.
+ */
+void writeCellJson(JsonWriter &w, const CellOutcome &cell,
+                   bool with_batch_records = false);
+
 struct SweepResult {
     /**
      * Major bumped whenever the JSON layout changes incompatibly;
      * minor bumped for additive fields within the same major.
      */
-    static constexpr const char *kSchema = "bauvm.sweep/1.1";
+    static constexpr const char *kSchema = "bauvm.sweep/1.2";
 
     std::string bench;          //!< producing binary, e.g. "fig11_speedup"
     std::uint64_t base_seed = 0;
@@ -68,8 +87,9 @@ struct SweepResult {
     const CellOutcome *find(const std::string &workload, Policy policy,
                             const std::string &variant = "") const;
 
-    /** Serializes the whole sweep as schema-versioned JSON. */
-    std::string toJson() const;
+    /** Serializes the whole sweep as schema-versioned JSON.
+     *  @param pretty  false = single-line form for NDJSON embedding. */
+    std::string toJson(bool pretty = true) const;
 
     /**
      * Writes toJson() to @p path ("-" = stdout). @return false (with a

@@ -9,10 +9,10 @@
 #include <mutex>
 
 #include "src/graph/graph_cache.h"
+#include "src/runner/cell_spec.h"
 #include "src/runner/thread_pool.h"
+#include "src/serve/result_cache.h"
 #include "src/sim/log.h"
-#include "src/trace/trace_export.h"
-#include "src/workloads/workload_registry.h"
 
 namespace bauvm
 {
@@ -48,82 +48,66 @@ cellFileStem(const SweepSpec &spec, const SweepJob &job)
     return stem;
 }
 
-/** Runs one cell with abort capture; never throws. */
+/**
+ * Runs one cell through the shared executeCell() path — the same code
+ * the sweep service's forked workers run, which is what keeps every
+ * execution mode (threaded, sharded, resumed) bit-identical. With a
+ * resume cache, finished ok cells load by content address instead of
+ * recomputing, and fresh ok results are stored for the next run.
+ */
 CellOutcome
-executeJob(const SweepJob &job, const SweepSpec &spec)
+executeJob(const SweepJob &job, const SweepSpec &spec,
+           ResultCache *cache)
 {
-    CellOutcome out;
-    out.workload = job.workload;
-    out.policy = job.policy;
-    out.variant = job.variant;
-    out.seed = job.seed;
-    out.job_seed = job.job_seed;
+    CellExecArgs args;
+    args.workload = job.workload;
+    args.policy = job.policy;
+    args.variant = job.variant;
+    args.job_seed = job.job_seed;
+    args.scale = spec.opt.scale;
 
-    const bool tracing = !spec.opt.trace_dir.empty();
-    // The system outlives the try block so an aborted cell's partial
-    // trace buffer can still be flushed to disk below.
-    std::unique_ptr<GpuUvmSystem> system;
-    bool aborted = false;
+    SimConfig config = paperConfig(spec.opt.ratio, job.seed);
+    config = applyPolicy(config, job.policy);
+    if (job.variant_index < spec.variants.size() &&
+        spec.variants[job.variant_index].mutate)
+        spec.variants[job.variant_index].mutate(config);
+    config.check.enabled = spec.opt.audit;
+    args.config = std::move(config);
 
-    const auto t0 = Clock::now();
-    try {
-        ScopedAbortCapture capture;
-        SimConfig config = paperConfig(spec.opt.ratio, job.seed);
-        config = applyPolicy(config, job.policy);
-        if (job.variant_index < spec.variants.size() &&
-            spec.variants[job.variant_index].mutate)
-            spec.variants[job.variant_index].mutate(config);
-        config.trace.enabled = tracing;
-        config.check.enabled = spec.opt.audit;
-        auto workload = WorkloadRegistry::instance().create(job.workload);
-        system = std::make_unique<GpuUvmSystem>(config);
-        out.result = system->run(*workload, spec.opt.scale);
-        out.ok = true;
-    } catch (const SimAbort &e) {
-        aborted = true;
-        out.error = e.what();
-    } catch (const std::exception &e) {
-        aborted = true;
-        out.error = e.what();
-    } catch (...) {
-        aborted = true;
-        out.error = "unknown exception";
-    }
-    out.wall_s = secondsSince(t0);
-
-    if (tracing && system && system->trace()) {
-        TraceMeta meta;
-        meta.bench = spec.bench;
-        meta.workload = job.workload;
-        meta.policy = policyName(job.policy);
-        meta.variant = job.variant;
-        meta.scale = scaleName(spec.opt.scale);
-        meta.seed = job.seed;
-        meta.ratio = spec.opt.ratio;
-        meta.partial = aborted;
-        // A cell that died mid-run still flushes whatever the ring
-        // holds; the .partial suffix keeps it out of tooling that
-        // expects complete timelines.
-        const std::string suffix = aborted ? ".partial" : "";
-        const std::string base =
-            spec.opt.trace_dir + "/" + cellFileStem(spec, job);
-        writeChromeTrace(*system->trace(), meta,
-                         base + ".trace.json" + suffix);
-        writeCounterCsv(*system->trace(),
-                        base + ".counters.csv" + suffix);
+    args.soft_timeout_s = spec.opt.timeout_s;
+    if (!spec.opt.trace_dir.empty()) {
+        args.trace_dir = spec.opt.trace_dir;
+        args.trace_stem = cellFileStem(spec, job);
+        args.trace_bench = spec.bench;
+        args.trace_ratio = spec.opt.ratio;
     }
 
-    if (out.ok && spec.opt.timeout_s > 0.0 &&
-        out.wall_s > spec.opt.timeout_s) {
-        out.ok = false;
-        out.timed_out = true;
-        char buf[128];
-        std::snprintf(buf, sizeof buf,
-                      "soft timeout: cell took %.2fs (budget %.2fs), "
-                      "result discarded",
-                      out.wall_s, spec.opt.timeout_s);
-        out.error = buf;
+    std::string digest;
+    std::string key;
+    if (cache) {
+        key = cellKey(args.workload, args.scale, args.config,
+                      gitRev());
+        digest = digestHex(key);
+        CellOutcome cached;
+        if (cache->lookup(digest, key, &cached)) {
+            // The stored outcome may carry a different producer
+            // coordinate that digests identically; re-label it as
+            // this cell. The simulated payload is digest-covered.
+            cached.workload = job.workload;
+            cached.policy = job.policy;
+            cached.variant = job.variant;
+            cached.seed = job.seed;
+            cached.job_seed = job.job_seed;
+            cached.digest = digest;
+            cached.result.workload = job.workload;
+            cached.result.seed = job.seed;
+            return cached;
+        }
     }
+
+    CellOutcome out = executeCell(args);
+    if (cache && out.ok)
+        cache->store(digest, key, out);
     return out;
 }
 
@@ -231,6 +215,12 @@ SweepRunner::run()
     std::mutex progress_mutex;
     std::size_t done = 0;
 
+    // --resume: finished ok cells load from the content-addressed
+    // cache by (config digest, git rev) instead of recomputing.
+    std::unique_ptr<ResultCache> cache;
+    if (!spec_.opt.resume_dir.empty())
+        cache = std::make_unique<ResultCache>(spec_.opt.resume_dir);
+
     // Share one immutable graph build per (workload, seed) across all
     // policy/variant cells for the duration of this sweep.
     GraphBuildCache &graph_cache = GraphBuildCache::instance();
@@ -242,8 +232,10 @@ SweepRunner::run()
         ThreadPool pool(workers);
         for (const SweepJob &job : jobs) {
             pool.submit([this, &job, &result, &progress,
-                         &progress_mutex, &done, total = jobs.size()] {
-                CellOutcome cell = executeJob(job, spec_);
+                         &progress_mutex, &done, &cache,
+                         total = jobs.size()] {
+                CellOutcome cell =
+                    executeJob(job, spec_, cache.get());
                 result.cells[job.index] = cell;
                 std::lock_guard<std::mutex> lock(progress_mutex);
                 ++done;
@@ -268,6 +260,16 @@ SweepRunner::run()
                                             builds_before),
             static_cast<unsigned long long>(graph_cache.hits() -
                                             hits_before));
+        if (cache) {
+            std::fprintf(
+                stderr,
+                "  resume cache: %llu hit(s), %llu computed, %llu "
+                "stored (%s)\n",
+                static_cast<unsigned long long>(cache->hits()),
+                static_cast<unsigned long long>(cache->misses()),
+                static_cast<unsigned long long>(cache->stores()),
+                cache->dir().c_str());
+        }
     }
     return result;
 }

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * ResultAggregator: batches many small result messages into few large
+ * flushes.
+ *
+ * The idiom is Grappa's RDMAAggregator — senders never emit one
+ * message per item; items accumulate per destination and a whole
+ * buffer ships when it fills (or when the sender reaches a natural
+ * barrier). Here the "destination" is the sweep daemon's result pipe
+ * (or the on-disk cache): a worker that completed a cell appends the
+ * serialized outcome and the aggregator invokes the flush sink once
+ * per batch, amortizing pipe writes, parent wakeups and cache-store
+ * passes over `capacity` cells instead of paying them per cell.
+ *
+ * Deliberately synchronous and single-owner (each forked worker owns
+ * exactly one): no locks, no background flusher. The cost of a lost
+ * batch on SIGKILL is bounded recomputation — results are
+ * deterministic, so a resumed sweep regenerates exactly the unflushed
+ * cells.
+ */
+
+#ifndef BAUVM_SERVE_AGGREGATOR_H_
+#define BAUVM_SERVE_AGGREGATOR_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bauvm
+{
+
+class ResultAggregator
+{
+  public:
+    /** @param sink   receives a full batch of serialized items.
+     *  @param capacity  items per flush; >= 1 (1 = unbatched). */
+    ResultAggregator(
+        std::function<void(const std::vector<std::string> &)> sink,
+        std::size_t capacity)
+        : sink_(std::move(sink)),
+          capacity_(capacity == 0 ? 1 : capacity)
+    {
+        items_.reserve(capacity_);
+    }
+
+    /** Flushing on destruction keeps "reached a barrier" the default
+     *  even on early-return paths. */
+    ~ResultAggregator() { flush(); }
+
+    ResultAggregator(const ResultAggregator &) = delete;
+    ResultAggregator &operator=(const ResultAggregator &) = delete;
+
+    /** Appends one serialized item; ships the batch when full. */
+    void
+    add(std::string item)
+    {
+        items_.push_back(std::move(item));
+        if (items_.size() >= capacity_)
+            flush();
+    }
+
+    /** Ships whatever is pending (no-op when empty). */
+    void
+    flush()
+    {
+        if (items_.empty())
+            return;
+        ++flushes_;
+        sink_(items_);
+        items_.clear();
+    }
+
+    std::size_t pending() const { return items_.size(); }
+    std::size_t capacity() const { return capacity_; }
+    /** Number of non-empty batches shipped so far. */
+    std::size_t flushes() const { return flushes_; }
+
+  private:
+    std::function<void(const std::vector<std::string> &)> sink_;
+    std::size_t capacity_;
+    std::vector<std::string> items_;
+    std::size_t flushes_ = 0;
+};
+
+} // namespace bauvm
+
+#endif // BAUVM_SERVE_AGGREGATOR_H_

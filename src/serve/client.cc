@@ -1,0 +1,157 @@
+#include "src/serve/client.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "src/serve/json.h"
+#include "src/serve/ndjson.h"
+
+namespace bauvm
+{
+
+namespace
+{
+
+int
+connectUnix(const std::string &path, std::string *error)
+{
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path) {
+        if (error)
+            *error = "socket path too long: " + path;
+        return -1;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (error)
+            *error = std::string("socket(): ") + std::strerror(errno);
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        if (error)
+            *error = "connect('" + path +
+                     "'): " + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+/**
+ * Extracts the raw bytes of the "sweep" member from a "done" event
+ * line. The daemon writes "sweep" as the *last* member of a compact
+ * single-line object, so its value is everything between the key and
+ * the final '}' — taking the substring (instead of re-serializing a
+ * parse) preserves the daemon's bytes exactly.
+ */
+bool
+extractSweepJson(const std::string &line, std::string *out)
+{
+    const std::string marker = "\"sweep\":";
+    const std::size_t pos = line.find(marker);
+    if (pos == std::string::npos || line.empty() ||
+        line.back() != '}')
+        return false;
+    const std::size_t begin = pos + marker.size();
+    if (begin >= line.size() - 1)
+        return false;
+    *out = line.substr(begin, line.size() - 1 - begin);
+    return true;
+}
+
+} // namespace
+
+SweepSubmitResult
+submitSweep(const std::string &socket_path,
+            const std::string &request_json,
+            const SweepEventFn &on_event)
+{
+    SweepSubmitResult result;
+    const int fd = connectUnix(socket_path, &result.error);
+    if (fd < 0)
+        return result;
+    if (!writeAll(fd, request_json)) {
+        result.error = "writing request failed";
+        ::close(fd);
+        return result;
+    }
+    // Half-close marks end-of-request; the daemon parses at EOF.
+    ::shutdown(fd, SHUT_WR);
+
+    LineBuffer buf;
+    std::string line;
+    bool got_done = false;
+    while (readLineBlocking(fd, &buf, &line)) {
+        JsonValue event;
+        std::string parse_error;
+        if (!JsonValue::parse(line, &event, &parse_error)) {
+            result.error = "malformed event: " + parse_error;
+            ::close(fd);
+            return result;
+        }
+        if (on_event)
+            on_event(event);
+        const std::string op = event.getString("op");
+        if (op == "error") {
+            result.error = event.getString("message");
+            ::close(fd);
+            return result;
+        }
+        if (op == "cell") {
+            ++result.cells;
+            if (!event.getBool("ok"))
+                ++result.failed;
+            if (event.getBool("timed_out"))
+                ++result.timed_out;
+            if (event.getBool("cached"))
+                ++result.cached;
+        }
+        if (op == "done") {
+            if (!extractSweepJson(line, &result.sweep_json)) {
+                result.error = "done event without sweep document";
+                ::close(fd);
+                return result;
+            }
+            got_done = true;
+        }
+    }
+    ::close(fd);
+    if (!got_done) {
+        result.error = result.error.empty()
+                           ? "connection closed before done event"
+                           : result.error;
+        return result;
+    }
+    result.ok = true;
+    return result;
+}
+
+bool
+waitForService(const std::string &socket_path, double timeout_s)
+{
+    const timespec step = {0, 20 * 1000 * 1000}; // 20ms
+    double waited = 0.0;
+    while (true) {
+        std::string error;
+        const int fd = connectUnix(socket_path, &error);
+        if (fd >= 0) {
+            ::close(fd);
+            return true;
+        }
+        if (waited >= timeout_s)
+            return false;
+        ::nanosleep(&step, nullptr);
+        waited += 0.02;
+    }
+}
+
+} // namespace bauvm

@@ -1,0 +1,77 @@
+#include "src/serve/ndjson.h"
+
+#include <errno.h>
+#include <unistd.h>
+
+namespace bauvm
+{
+
+bool
+writeAll(int fd, const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n =
+            ::write(fd, data.data() + off, data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+writeLine(int fd, const std::string &line)
+{
+    return writeAll(fd, line + "\n");
+}
+
+void
+LineBuffer::append(const char *data, std::size_t n)
+{
+    // Compact the consumed prefix before growing, keeping the buffer
+    // proportional to unconsumed data even on long-lived channels.
+    if (start_ > 0 && start_ == buf_.size()) {
+        buf_.clear();
+        start_ = 0;
+    } else if (start_ > 4096) {
+        buf_.erase(0, start_);
+        start_ = 0;
+    }
+    buf_.append(data, n);
+}
+
+bool
+LineBuffer::pop(std::string *line)
+{
+    const std::size_t nl = buf_.find('\n', start_);
+    if (nl == std::string::npos)
+        return false;
+    line->assign(buf_, start_, nl - start_);
+    start_ = nl + 1;
+    return true;
+}
+
+bool
+readLineBlocking(int fd, LineBuffer *buf, std::string *line)
+{
+    while (true) {
+        if (buf->pop(line))
+            return true;
+        char chunk[4096];
+        const ssize_t n = ::read(fd, chunk, sizeof chunk);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false; // EOF; unterminated tail discarded
+        buf->append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+} // namespace bauvm

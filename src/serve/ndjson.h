@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Newline-delimited-JSON framing over file descriptors.
+ *
+ * Every sweep-service channel (daemon <-> worker pipes, daemon <->
+ * client socket) speaks NDJSON: one JSON document per line. This
+ * header provides the three primitives all of them share — a
+ * full-write with EINTR retry, an incremental line buffer for
+ * poll()-driven readers, and a blocking line read for the worker's
+ * simple request loop. No JSON knowledge here; framing only.
+ */
+
+#ifndef BAUVM_SERVE_NDJSON_H_
+#define BAUVM_SERVE_NDJSON_H_
+
+#include <cstddef>
+#include <string>
+
+namespace bauvm
+{
+
+/**
+ * Writes all of @p data to @p fd, retrying on EINTR and partial
+ * writes. @return false on any other error (e.g. EPIPE with SIGPIPE
+ * ignored — the standard "peer died" signal for service channels).
+ */
+bool writeAll(int fd, const std::string &data);
+
+/** writeAll() of @p line plus the terminating newline. */
+bool writeLine(int fd, const std::string &line);
+
+/**
+ * Reassembles lines from arbitrary read() chunks. Feed bytes as they
+ * arrive; pop complete lines (without the newline) as they form.
+ */
+class LineBuffer
+{
+  public:
+    void append(const char *data, std::size_t n);
+
+    /** Extracts the next complete line. @return false when none. */
+    bool pop(std::string *line);
+
+    /** Bytes buffered but not yet forming a complete line. */
+    std::size_t pendingBytes() const { return buf_.size() - start_; }
+
+  private:
+    std::string buf_;
+    std::size_t start_ = 0; //!< consumed prefix, compacted lazily
+};
+
+/**
+ * Blocking line read: read()s @p fd into @p buf until a full line is
+ * available. @return false on EOF or error with no complete line
+ * buffered (a trailing unterminated line is discarded — NDJSON peers
+ * always terminate frames).
+ */
+bool readLineBlocking(int fd, LineBuffer *buf, std::string *line);
+
+} // namespace bauvm
+
+#endif // BAUVM_SERVE_NDJSON_H_

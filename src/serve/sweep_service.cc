@@ -1,0 +1,1091 @@
+#include "src/serve/sweep_service.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/runner/cell_spec.h"
+#include "src/runner/json_writer.h"
+#include "src/runner/sweep_result.h"
+#include "src/serve/cell_json.h"
+#include "src/serve/json.h"
+#include "src/serve/ndjson.h"
+#include "src/serve/result_cache.h"
+#include "src/serve/sweep_request.h"
+#include "src/serve/worker.h"
+#include "src/sim/log.h"
+
+namespace bauvm
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+monotonicNow()
+{
+    return std::chrono::duration<double>(
+               Clock::now().time_since_epoch())
+        .count();
+}
+
+/** Self-pipe write end for the signal handlers; -1 outside run(). */
+std::atomic<int> g_stop_fd{-1};
+
+void
+stopSignalHandler(int)
+{
+    const int fd = g_stop_fd.load();
+    if (fd >= 0) {
+        const char byte = 's';
+        // Best effort; a full pipe already guarantees a wakeup.
+        (void)!::write(fd, &byte, 1);
+    }
+}
+
+} // namespace
+
+struct SweepService::Impl {
+    struct Request;
+
+    /** One forked worker and its daemon-side channel state. */
+    struct WorkerState {
+        WorkerProc proc;
+        Request *request = nullptr;
+        LineBuffer buf;
+        bool dead = false; //!< reaped; removed in the sweep phase
+
+        // The shard in flight, as request-cell indexes.
+        std::vector<std::size_t> chunk;
+        std::vector<char> resulted; //!< parallel to chunk
+        std::size_t pending = 0;
+        bool busy = false;
+
+        std::ptrdiff_t running = -1; //!< from the last "begin"
+        double deadline = 0.0;       //!< monotonic; 0 = none
+    };
+
+    /** One admitted client request, alive until reaped. */
+    struct Request {
+        int client_fd = -1; //!< -1 once closed (done or aborted)
+        SweepRequest req;
+        std::vector<CellSpec> cells;
+        std::vector<std::string> digests;
+        SweepResult result; //!< cells preallocated, filled by index
+        std::vector<char> cell_done;
+        std::size_t done_count = 0;
+        std::deque<std::size_t> queue; //!< owned, not yet dispatched
+        std::vector<std::unique_ptr<WorkerState>> workers;
+        Clock::time_point t0;
+        bool finished = false;
+        bool aborted = false;
+    };
+
+    /** A client connection still streaming its request document in. */
+    struct ClientConn {
+        int fd = -1;
+        std::string text;
+    };
+
+    /** The daemon-wide memo of one cell digest: who is computing it
+     *  (pending) or what it computed (done). Failed cells are erased
+     *  after serving their waiters, so later requests retry them. */
+    struct CellEntry {
+        bool done = false;
+        CellOutcome outcome; //!< canonical (owner identity) when done
+        Request *owner = nullptr;
+        std::size_t owner_index = 0;
+        std::vector<std::pair<Request *, std::size_t>> waiters;
+    };
+
+    explicit Impl(SweepServiceOptions o)
+        : opt(std::move(o))
+    {
+    }
+
+    SweepServiceOptions opt;
+    int listen_fd = -1;
+    int self_pipe[2] = {-1, -1};
+    bool stopping = false;
+
+    std::list<ClientConn> conns;
+    std::vector<std::unique_ptr<Request>> requests;
+    std::unordered_map<std::string, CellEntry> table;
+    std::unique_ptr<ResultCache> cache;
+
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> from_cache{0};
+    std::atomic<std::uint64_t> deduped{0};
+    std::atomic<std::uint64_t> killed{0};
+
+    // ---- lifecycle ----------------------------------------------
+
+    bool start(std::string *error);
+    int run();
+    void shutdownEverything();
+
+    // ---- client side --------------------------------------------
+
+    void acceptClient();
+    /** @return false when the connection is finished (EOF/error). */
+    bool clientReadable(ClientConn &conn);
+    void admit(ClientConn &conn);
+    void sendError(int fd, const std::string &message);
+    void sendAccepted(Request &r);
+    void sendCellEvent(Request &r, std::size_t i);
+    void finishRequest(Request &r);
+    void abortRequest(Request &r);
+
+    // ---- cell completion ----------------------------------------
+
+    void completeCell(Request &r, std::size_t i, const CellOutcome &src,
+                      bool served);
+    void cellComputed(Request &r, std::size_t i, CellOutcome outcome);
+
+    // ---- worker side --------------------------------------------
+
+    void dispatch();
+    WorkerState *idleWorker(Request &r);
+    void sendChunk(Request &r, WorkerState &ws);
+    void workerReadable(WorkerState &ws);
+    void workerFrame(WorkerState &ws, const std::string &line);
+    void workerGone(WorkerState &ws, bool killed_by_us,
+                    const std::string &why);
+    void checkDeadlines(double now);
+    double nearestDeadline() const;
+    void reap();
+};
+
+// ----------------------------------------------------------------
+// lifecycle
+// ----------------------------------------------------------------
+
+bool
+SweepService::Impl::start(std::string *error)
+{
+    if (opt.socket_path.empty()) {
+        if (error)
+            *error = "sweep service: empty socket path";
+        return false;
+    }
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sun_family = AF_UNIX;
+    if (opt.socket_path.size() >= sizeof addr.sun_path) {
+        if (error)
+            *error = "sweep service: socket path too long: " +
+                     opt.socket_path;
+        return false;
+    }
+    std::memcpy(addr.sun_path, opt.socket_path.c_str(),
+                opt.socket_path.size() + 1);
+
+    listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd < 0) {
+        if (error)
+            *error = std::string("sweep service: socket(): ") +
+                     std::strerror(errno);
+        return false;
+    }
+    // A previous daemon instance (possibly SIGKILLed — the resume
+    // path) leaves a stale socket file; rebinding over it is the
+    // expected restart flow.
+    ::unlink(opt.socket_path.c_str());
+    if (::bind(listen_fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0) {
+        if (error)
+            *error = "sweep service: bind('" + opt.socket_path +
+                     "'): " + std::strerror(errno);
+        ::close(listen_fd);
+        listen_fd = -1;
+        return false;
+    }
+    if (::listen(listen_fd, 16) != 0) {
+        if (error)
+            *error = std::string("sweep service: listen(): ") +
+                     std::strerror(errno);
+        ::close(listen_fd);
+        listen_fd = -1;
+        return false;
+    }
+    if (::pipe(self_pipe) != 0) {
+        if (error)
+            *error = std::string("sweep service: pipe(): ") +
+                     std::strerror(errno);
+        ::close(listen_fd);
+        listen_fd = -1;
+        return false;
+    }
+    if (!opt.cache_dir.empty())
+        cache = std::make_unique<ResultCache>(opt.cache_dir);
+    if (opt.verbose)
+        std::fprintf(stderr,
+                     "sweepd: listening on %s (cache: %s)\n",
+                     opt.socket_path.c_str(),
+                     opt.cache_dir.empty() ? "off"
+                                           : opt.cache_dir.c_str());
+    return true;
+}
+
+int
+SweepService::Impl::run()
+{
+    if (listen_fd < 0)
+        fatal("sweep service: run() before start()");
+
+    g_stop_fd.store(self_pipe[1]);
+    struct sigaction sa, old_term, old_int, old_pipe;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = stopSignalHandler;
+    ::sigaction(SIGTERM, &sa, &old_term);
+    ::sigaction(SIGINT, &sa, &old_int);
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = SIG_IGN;
+    ::sigaction(SIGPIPE, &sa, &old_pipe);
+
+    enum class Ref { Listen, Stop, Client, Worker };
+    struct PollRef {
+        Ref kind;
+        ClientConn *conn = nullptr;
+        WorkerState *ws = nullptr;
+    };
+
+    while (!stopping) {
+        std::vector<pollfd> fds;
+        std::vector<PollRef> refs;
+        fds.push_back({listen_fd, POLLIN, 0});
+        refs.push_back({Ref::Listen, nullptr, nullptr});
+        fds.push_back({self_pipe[0], POLLIN, 0});
+        refs.push_back({Ref::Stop, nullptr, nullptr});
+        for (ClientConn &conn : conns) {
+            fds.push_back({conn.fd, POLLIN, 0});
+            refs.push_back({Ref::Client, &conn, nullptr});
+        }
+        for (auto &r : requests) {
+            for (auto &ws : r->workers) {
+                if (ws->dead)
+                    continue;
+                fds.push_back({ws->proc.from_fd, POLLIN, 0});
+                refs.push_back({Ref::Worker, nullptr, ws.get()});
+            }
+        }
+
+        int timeout_ms = -1;
+        const double deadline = nearestDeadline();
+        if (deadline > 0.0) {
+            const double wait = deadline - monotonicNow();
+            timeout_ms =
+                wait <= 0.0
+                    ? 0
+                    : static_cast<int>(wait * 1000.0) + 1;
+        }
+
+        const int n =
+            ::poll(fds.data(), fds.size(), timeout_ms);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("sweep service: poll(): %s", std::strerror(errno));
+            break;
+        }
+
+        for (std::size_t i = 0; i < fds.size(); ++i) {
+            if (fds[i].revents == 0)
+                continue;
+            switch (refs[i].kind) {
+              case Ref::Listen:
+                acceptClient();
+                break;
+              case Ref::Stop: {
+                char drain[64];
+                (void)!::read(self_pipe[0], drain, sizeof drain);
+                stopping = true;
+                break;
+              }
+              case Ref::Client: {
+                ClientConn *conn = refs[i].conn;
+                if (!clientReadable(*conn)) {
+                    // Either admitted (fd ownership moved to the
+                    // request) or dropped; forget the connection.
+                    for (auto it = conns.begin(); it != conns.end();
+                         ++it) {
+                        if (&*it == conn) {
+                            conns.erase(it);
+                            break;
+                        }
+                    }
+                }
+                break;
+              }
+              case Ref::Worker:
+                if (!refs[i].ws->dead)
+                    workerReadable(*refs[i].ws);
+                break;
+            }
+            if (stopping)
+                break;
+        }
+        if (stopping)
+            break;
+
+        checkDeadlines(monotonicNow());
+        dispatch();
+        reap();
+    }
+
+    shutdownEverything();
+
+    ::sigaction(SIGTERM, &old_term, nullptr);
+    ::sigaction(SIGINT, &old_int, nullptr);
+    ::sigaction(SIGPIPE, &old_pipe, nullptr);
+    g_stop_fd.store(-1);
+    if (opt.verbose)
+        std::fprintf(
+            stderr,
+            "sweepd: shut down (executed %llu, cached %llu, deduped "
+            "%llu, killed %llu)\n",
+            static_cast<unsigned long long>(executed.load()),
+            static_cast<unsigned long long>(from_cache.load()),
+            static_cast<unsigned long long>(deduped.load()),
+            static_cast<unsigned long long>(killed.load()));
+    return 0;
+}
+
+void
+SweepService::Impl::shutdownEverything()
+{
+    for (ClientConn &conn : conns)
+        ::close(conn.fd);
+    conns.clear();
+    // Cells in flight recompute on resume — that is the whole point
+    // of the result cache — so workers die hard and fast here.
+    for (auto &r : requests) {
+        for (auto &ws : r->workers) {
+            if (ws->dead)
+                continue;
+            ::close(ws->proc.to_fd);
+            ::close(ws->proc.from_fd);
+            ::kill(ws->proc.pid, SIGKILL);
+            ::waitpid(ws->proc.pid, nullptr, 0);
+        }
+        if (r->client_fd >= 0)
+            ::close(r->client_fd);
+    }
+    requests.clear();
+    table.clear();
+    if (listen_fd >= 0) {
+        ::close(listen_fd);
+        listen_fd = -1;
+    }
+    if (self_pipe[0] >= 0) {
+        ::close(self_pipe[0]);
+        ::close(self_pipe[1]);
+        self_pipe[0] = self_pipe[1] = -1;
+    }
+    ::unlink(opt.socket_path.c_str());
+}
+
+// ----------------------------------------------------------------
+// client side
+// ----------------------------------------------------------------
+
+void
+SweepService::Impl::acceptClient()
+{
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0)
+        return;
+    if (conns.size() + requests.size() >= opt.max_requests) {
+        sendError(fd, "sweep service: too many concurrent requests");
+        ::close(fd);
+        return;
+    }
+    ClientConn conn;
+    conn.fd = fd;
+    conns.push_back(std::move(conn));
+}
+
+bool
+SweepService::Impl::clientReadable(ClientConn &conn)
+{
+    char chunk[4096];
+    const ssize_t n = ::read(conn.fd, chunk, sizeof chunk);
+    if (n > 0) {
+        conn.text.append(chunk, static_cast<std::size_t>(n));
+        return true;
+    }
+    if (n < 0 && errno == EINTR)
+        return true;
+    if (n == 0) {
+        // EOF is the request framing: the client wrote its document
+        // and shutdown(SHUT_WR). Admit it (fd ownership moves).
+        admit(conn);
+        return false;
+    }
+    ::close(conn.fd);
+    return false;
+}
+
+void
+SweepService::Impl::admit(ClientConn &conn)
+{
+    JsonValue doc;
+    std::string error;
+    if (!JsonValue::parse(conn.text, &doc, &error)) {
+        sendError(conn.fd, "malformed request JSON: " + error);
+        ::close(conn.fd);
+        return;
+    }
+    SweepRequest req;
+    if (!parseSweepRequest(doc, &req, &error)) {
+        sendError(conn.fd, error);
+        ::close(conn.fd);
+        return;
+    }
+    if (opt.max_workers > 0 && req.jobs > opt.max_workers)
+        req.jobs = opt.max_workers;
+
+    auto r = std::make_unique<Request>();
+    r->client_fd = conn.fd;
+    r->req = std::move(req);
+    r->cells = expandCells(r->req);
+    r->t0 = Clock::now();
+    r->result.bench = r->req.bench;
+    r->result.base_seed = r->req.seed;
+    r->result.scale = r->req.scale;
+    r->result.ratio = r->req.ratio;
+    r->result.jobs = r->req.jobs;
+    r->result.cells.resize(r->cells.size());
+    r->cell_done.assign(r->cells.size(), 0);
+    r->digests.reserve(r->cells.size());
+
+    const std::string git_rev = gitRev();
+    std::vector<std::string> keys;
+    keys.reserve(r->cells.size());
+    for (const CellSpec &spec : r->cells) {
+        const std::string key = cellKey(
+            spec.workload, spec.scale, cellConfig(spec), git_rev);
+        keys.push_back(key);
+        r->digests.push_back(digestHex(key));
+    }
+
+    Request &ref = *r;
+    requests.push_back(std::move(r));
+    if (opt.verbose)
+        std::fprintf(stderr,
+                     "sweepd: request '%s': %zu cells, %zu worker(s)\n",
+                     ref.req.bench.c_str(), ref.cells.size(),
+                     ref.req.jobs);
+    sendAccepted(ref);
+
+    for (std::size_t i = 0;
+         i < ref.cells.size() && !ref.aborted; ++i) {
+        const std::string &digest = ref.digests[i];
+        auto it = table.find(digest);
+        if (it != table.end()) {
+            if (it->second.done) {
+                from_cache.fetch_add(1);
+                completeCell(ref, i, it->second.outcome, true);
+            } else {
+                // The same cell is already queued or running for an
+                // earlier request: wait on it instead of recomputing.
+                deduped.fetch_add(1);
+                it->second.waiters.push_back({&ref, i});
+            }
+            continue;
+        }
+        CellOutcome from_disk;
+        if (cache && cache->lookup(digest, keys[i], &from_disk)) {
+            CellEntry entry;
+            entry.done = true;
+            entry.outcome = from_disk;
+            table.emplace(digest, std::move(entry));
+            from_cache.fetch_add(1);
+            completeCell(ref, i, from_disk, true);
+            continue;
+        }
+        CellEntry entry;
+        entry.owner = &ref;
+        entry.owner_index = i;
+        table.emplace(digest, std::move(entry));
+        ref.queue.push_back(i);
+    }
+}
+
+void
+SweepService::Impl::sendError(int fd, const std::string &message)
+{
+    JsonWriter w(/*pretty=*/false);
+    w.beginObject();
+    w.field("op", "error");
+    w.field("message", message);
+    w.endObject();
+    writeLine(fd, w.str());
+}
+
+void
+SweepService::Impl::sendAccepted(Request &r)
+{
+    if (r.client_fd < 0)
+        return;
+    JsonWriter w(/*pretty=*/false);
+    w.beginObject();
+    w.field("op", "accepted");
+    w.field("bench", r.req.bench);
+    w.field("cells", static_cast<std::uint64_t>(r.cells.size()));
+    w.field("jobs", static_cast<std::uint64_t>(r.req.jobs));
+    w.endObject();
+    if (!writeLine(r.client_fd, w.str()))
+        abortRequest(r);
+}
+
+void
+SweepService::Impl::sendCellEvent(Request &r, std::size_t i)
+{
+    if (r.client_fd < 0)
+        return;
+    const CellOutcome &cell = r.result.cells[i];
+    JsonWriter w(/*pretty=*/false);
+    w.beginObject();
+    w.field("op", "cell");
+    w.field("index", static_cast<std::uint64_t>(i));
+    w.field("workload", cell.workload);
+    w.field("policy", policyName(cell.policy));
+    w.field("variant", cell.variant);
+    w.field("ok", cell.ok);
+    w.field("timed_out", cell.timed_out);
+    w.field("cached", cell.from_cache);
+    w.field("digest", cell.digest);
+    w.field("done", static_cast<std::uint64_t>(r.done_count));
+    w.field("total", static_cast<std::uint64_t>(r.cells.size()));
+    w.endObject();
+    if (!writeLine(r.client_fd, w.str()))
+        abortRequest(r);
+}
+
+void
+SweepService::Impl::finishRequest(Request &r)
+{
+    r.finished = true;
+    r.result.elapsed_s =
+        std::chrono::duration<double>(Clock::now() - r.t0).count();
+    if (r.client_fd >= 0) {
+        JsonWriter w(/*pretty=*/false);
+        w.beginObject();
+        w.field("op", "done");
+        w.rawField("sweep", r.result.toJson(/*pretty=*/false));
+        w.endObject();
+        writeLine(r.client_fd, w.str());
+        ::close(r.client_fd);
+        r.client_fd = -1;
+    }
+    if (opt.verbose)
+        std::fprintf(stderr,
+                     "sweepd: request '%s' done: %zu cells in %.2fs "
+                     "(%zu failed)\n",
+                     r.req.bench.c_str(), r.result.cells.size(),
+                     r.result.elapsed_s, r.result.failedCells());
+}
+
+void
+SweepService::Impl::abortRequest(Request &r)
+{
+    if (r.aborted || r.finished)
+        return;
+    r.aborted = true;
+    if (r.client_fd >= 0) {
+        ::close(r.client_fd);
+        r.client_fd = -1;
+    }
+    // This request must stop appearing in any waiter list...
+    for (auto &kv : table) {
+        auto &waiters = kv.second.waiters;
+        for (std::size_t i = waiters.size(); i-- > 0;) {
+            if (waiters[i].first == &r)
+                waiters.erase(waiters.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+        }
+    }
+    // ...and its undispatched cells either hand over to a waiting
+    // request or vanish. In-flight shards keep running: their results
+    // still serve other requests' waiters and the shared cache.
+    for (const std::size_t i : r.queue) {
+        auto it = table.find(r.digests[i]);
+        if (it == table.end() || it->second.done ||
+            it->second.owner != &r)
+            continue;
+        if (!it->second.waiters.empty()) {
+            const auto heir = it->second.waiters.front();
+            it->second.waiters.erase(it->second.waiters.begin());
+            it->second.owner = heir.first;
+            it->second.owner_index = heir.second;
+            heir.first->queue.push_back(heir.second);
+        } else {
+            table.erase(it);
+        }
+    }
+    r.queue.clear();
+    if (opt.verbose)
+        std::fprintf(stderr, "sweepd: request '%s' aborted\n",
+                     r.req.bench.c_str());
+}
+
+// ----------------------------------------------------------------
+// cell completion
+// ----------------------------------------------------------------
+
+void
+SweepService::Impl::completeCell(Request &r, std::size_t i,
+                                 const CellOutcome &src, bool served)
+{
+    if (r.cell_done[i])
+        return;
+    // The source outcome may have been computed for a different
+    // coordinate that digests identically (e.g. a variant override
+    // equal to a policy preset), and cache/memo hits carry their
+    // producer's labels — rewrite the identity to THIS cell's
+    // coordinates. All digest-covered payload stays untouched.
+    CellOutcome o = src;
+    const CellSpec &spec = r.cells[i];
+    o.workload = spec.workload;
+    o.policy = spec.policy;
+    o.variant = spec.variant;
+    o.seed = deriveWorkloadSeed(spec.base_seed, spec.workload);
+    o.job_seed = cellJobSeed(spec);
+    o.digest = r.digests[i];
+    o.from_cache = served;
+    if (o.ok) {
+        o.result.workload = spec.workload;
+        o.result.seed = o.seed;
+    }
+    r.result.cells[i] = std::move(o);
+    r.cell_done[i] = 1;
+    ++r.done_count;
+    sendCellEvent(r, i);
+    if (r.done_count == r.cells.size() && !r.finished && !r.aborted)
+        finishRequest(r);
+}
+
+void
+SweepService::Impl::cellComputed(Request &r, std::size_t i,
+                                 CellOutcome outcome)
+{
+    const std::string &digest = r.digests[i];
+    completeCell(r, i, outcome, false);
+    auto it = table.find(digest);
+    if (it == table.end())
+        return;
+    for (const auto &[wr, wi] : it->second.waiters)
+        completeCell(*wr, wi, outcome, true);
+    it->second.waiters.clear();
+    if (outcome.ok) {
+        it->second.done = true;
+        it->second.owner = nullptr;
+        it->second.outcome = std::move(outcome);
+    } else {
+        // Failures are not memoized: the next request retries.
+        table.erase(it);
+    }
+}
+
+// ----------------------------------------------------------------
+// worker side
+// ----------------------------------------------------------------
+
+SweepService::Impl::WorkerState *
+SweepService::Impl::idleWorker(Request &r)
+{
+    for (auto &ws : r.workers) {
+        if (!ws->dead && !ws->busy)
+            return ws.get();
+    }
+    return nullptr;
+}
+
+void
+SweepService::Impl::dispatch()
+{
+    for (auto &rp : requests) {
+        Request &r = *rp;
+        if (r.finished || r.aborted)
+            continue;
+        while (!r.queue.empty()) {
+            WorkerState *ws = idleWorker(r);
+            if (!ws) {
+                std::size_t alive = 0;
+                for (auto &w : r.workers) {
+                    if (!w->dead)
+                        ++alive;
+                }
+                if (alive >= r.req.jobs)
+                    break;
+                WorkerOptions wopt;
+                wopt.cache_dir = opt.cache_dir;
+                wopt.flush_cells = r.req.flush_cells;
+                wopt.git_rev = gitRev();
+                auto state = std::make_unique<WorkerState>();
+                state->proc = spawnWorker(wopt);
+                state->request = &r;
+                ws = state.get();
+                r.workers.push_back(std::move(state));
+            }
+            sendChunk(r, *ws);
+        }
+    }
+}
+
+void
+SweepService::Impl::sendChunk(Request &r, WorkerState &ws)
+{
+    ws.chunk.clear();
+    ws.resulted.clear();
+    const std::size_t take =
+        std::min(r.req.chunk_cells, r.queue.size());
+    for (std::size_t k = 0; k < take; ++k) {
+        ws.chunk.push_back(r.queue.front());
+        r.queue.pop_front();
+    }
+    ws.resulted.assign(ws.chunk.size(), 0);
+    ws.pending = ws.chunk.size();
+    ws.busy = true;
+    ws.running = -1;
+    ws.deadline = r.req.hard_timeout_s > 0.0
+                      ? monotonicNow() + r.req.hard_timeout_s
+                      : 0.0;
+
+    JsonWriter w(/*pretty=*/false);
+    w.beginObject();
+    w.field("op", "run");
+    w.field("soft_timeout_s", r.req.timeout_s);
+    w.field("flush_cells",
+            static_cast<std::uint64_t>(r.req.flush_cells));
+    w.beginArray("cells");
+    for (const std::size_t i : ws.chunk) {
+        w.beginObject();
+        w.field("index", static_cast<std::uint64_t>(i));
+        JsonWriter spec(/*pretty=*/false);
+        writeCellSpec(spec, r.cells[i]);
+        w.rawField("spec", spec.str());
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    if (!writeLine(ws.proc.to_fd, w.str()))
+        workerGone(ws, false, "write to worker failed");
+}
+
+void
+SweepService::Impl::workerReadable(WorkerState &ws)
+{
+    char chunk[8192];
+    const ssize_t n = ::read(ws.proc.from_fd, chunk, sizeof chunk);
+    if (n < 0) {
+        if (errno == EINTR)
+            return;
+        workerGone(ws, false, std::strerror(errno));
+        return;
+    }
+    if (n == 0) {
+        workerGone(ws, false, "worker closed its pipe");
+        return;
+    }
+    ws.buf.append(chunk, static_cast<std::size_t>(n));
+    std::string line;
+    while (!ws.dead && ws.buf.pop(&line))
+        workerFrame(ws, line);
+}
+
+void
+SweepService::Impl::workerFrame(WorkerState &ws,
+                                const std::string &line)
+{
+    Request &r = *ws.request;
+    JsonValue frame;
+    std::string error;
+    if (!JsonValue::parse(line, &frame, &error)) {
+        warn("sweep service: malformed worker frame (%s)",
+             error.c_str());
+        workerGone(ws, false, "malformed frame");
+        return;
+    }
+    const std::string op = frame.getString("op");
+    if (op == "begin") {
+        ws.running =
+            static_cast<std::ptrdiff_t>(frame.getU64("index"));
+        if (r.req.hard_timeout_s > 0.0)
+            ws.deadline = monotonicNow() + r.req.hard_timeout_s;
+        return;
+    }
+    if (op != "results") {
+        warn("sweep service: unknown worker op '%s'", op.c_str());
+        return;
+    }
+    const JsonValue *items = frame.find("items");
+    if (!items || !items->isArray())
+        return;
+    for (std::size_t k = 0; k < items->size(); ++k) {
+        const JsonValue &item = items->at(k);
+        const std::size_t index =
+            static_cast<std::size_t>(item.getU64("index"));
+        const JsonValue *outcome_json = item.find("outcome");
+        CellOutcome outcome;
+        if (!outcome_json ||
+            !parseCellOutcome(*outcome_json, &outcome, &error)) {
+            warn("sweep service: unparseable worker result (%s)",
+                 error.c_str());
+            continue;
+        }
+        for (std::size_t c = 0; c < ws.chunk.size(); ++c) {
+            if (ws.chunk[c] == index && !ws.resulted[c]) {
+                ws.resulted[c] = 1;
+                --ws.pending;
+                break;
+            }
+        }
+        if (ws.running == static_cast<std::ptrdiff_t>(index))
+            ws.running = -1;
+        executed.fetch_add(1);
+        cellComputed(r, index, std::move(outcome));
+    }
+    if (ws.pending == 0) {
+        ws.busy = false;
+        ws.chunk.clear();
+        ws.resulted.clear();
+        ws.deadline = 0.0;
+    } else if (r.req.hard_timeout_s > 0.0) {
+        // Budget restarts for the next cell of the shard.
+        ws.deadline = monotonicNow() + r.req.hard_timeout_s;
+    }
+}
+
+void
+SweepService::Impl::workerGone(WorkerState &ws, bool killed_by_us,
+                               const std::string &why)
+{
+    if (ws.dead)
+        return;
+    ws.dead = true;
+    Request &r = *ws.request;
+    ::close(ws.proc.to_fd);
+    ::close(ws.proc.from_fd);
+    if (killed_by_us)
+        ::kill(ws.proc.pid, SIGKILL);
+    ::waitpid(ws.proc.pid, nullptr, 0);
+
+    if (!ws.busy)
+        return;
+    for (std::size_t c = 0; c < ws.chunk.size(); ++c) {
+        if (ws.resulted[c])
+            continue;
+        const std::size_t index = ws.chunk[c];
+        const bool was_running =
+            ws.running == static_cast<std::ptrdiff_t>(index);
+        if (was_running && killed_by_us) {
+            // Exactly the overdue cell is charged with the timeout;
+            // everything else in the shard gets recomputed.
+            CellOutcome out;
+            out.ok = false;
+            out.timed_out = true;
+            out.wall_s = r.req.hard_timeout_s;
+            out.worker_pid =
+                static_cast<std::uint64_t>(ws.proc.pid);
+            out.hostname = hostName();
+            char buf[160];
+            std::snprintf(buf, sizeof buf,
+                          "hard timeout: worker %d SIGKILLed after "
+                          "%.1fs",
+                          static_cast<int>(ws.proc.pid),
+                          r.req.hard_timeout_s);
+            out.error = buf;
+            cellComputed(r, index, std::move(out));
+        } else if (was_running && !killed_by_us) {
+            CellOutcome out;
+            out.ok = false;
+            out.worker_pid =
+                static_cast<std::uint64_t>(ws.proc.pid);
+            out.hostname = hostName();
+            out.error = "sweep worker died mid-cell (" + why + ")";
+            cellComputed(r, index, std::move(out));
+        } else if (!r.aborted) {
+            r.queue.push_back(index);
+        } else {
+            // Aborted owner: same handover as abortRequest().
+            auto it = table.find(r.digests[index]);
+            if (it != table.end() && !it->second.done &&
+                it->second.owner == &r) {
+                if (!it->second.waiters.empty()) {
+                    const auto heir = it->second.waiters.front();
+                    it->second.waiters.erase(
+                        it->second.waiters.begin());
+                    it->second.owner = heir.first;
+                    it->second.owner_index = heir.second;
+                    heir.first->queue.push_back(heir.second);
+                } else {
+                    table.erase(it);
+                }
+            }
+        }
+    }
+    ws.busy = false;
+    ws.chunk.clear();
+    ws.resulted.clear();
+    ws.pending = 0;
+    ws.deadline = 0.0;
+}
+
+void
+SweepService::Impl::checkDeadlines(double now)
+{
+    for (auto &r : requests) {
+        for (auto &ws : r->workers) {
+            if (ws->dead || !ws->busy || ws->deadline <= 0.0 ||
+                now < ws->deadline)
+                continue;
+            killed.fetch_add(1);
+            if (opt.verbose)
+                std::fprintf(
+                    stderr,
+                    "sweepd: hard timeout (%.1fs): killing worker "
+                    "%d\n",
+                    r->req.hard_timeout_s,
+                    static_cast<int>(ws->proc.pid));
+            workerGone(*ws, true, "hard timeout");
+        }
+    }
+}
+
+double
+SweepService::Impl::nearestDeadline() const
+{
+    double nearest = 0.0;
+    for (const auto &r : requests) {
+        for (const auto &ws : r->workers) {
+            if (ws->dead || !ws->busy || ws->deadline <= 0.0)
+                continue;
+            if (nearest == 0.0 || ws->deadline < nearest)
+                nearest = ws->deadline;
+        }
+    }
+    return nearest;
+}
+
+void
+SweepService::Impl::reap()
+{
+    for (auto &r : requests) {
+        const bool workers_idle = [&] {
+            for (const auto &ws : r->workers) {
+                if (!ws->dead && ws->busy)
+                    return false;
+            }
+            return true;
+        }();
+        if (!(r->finished || (r->aborted && workers_idle)))
+            continue;
+        for (auto &ws : r->workers) {
+            if (ws->dead)
+                continue;
+            // Idle by construction (finished => every shard resulted);
+            // closing stdin is the worker's exit signal.
+            ::close(ws->proc.to_fd);
+            ::close(ws->proc.from_fd);
+            ::waitpid(ws->proc.pid, nullptr, 0);
+            ws->dead = true;
+        }
+        r->workers.clear();
+    }
+    requests.erase(
+        std::remove_if(requests.begin(), requests.end(),
+                       [](const std::unique_ptr<Request> &r) {
+                           return (r->finished || r->aborted) &&
+                                  r->workers.empty();
+                       }),
+        requests.end());
+}
+
+// ----------------------------------------------------------------
+// public surface
+// ----------------------------------------------------------------
+
+SweepService::SweepService(SweepServiceOptions opt)
+    : impl_(std::make_unique<Impl>(std::move(opt)))
+{
+}
+
+SweepService::~SweepService()
+{
+    if (impl_ && impl_->listen_fd >= 0)
+        impl_->shutdownEverything();
+}
+
+bool
+SweepService::start(std::string *error)
+{
+    return impl_->start(error);
+}
+
+int
+SweepService::run()
+{
+    return impl_->run();
+}
+
+void
+SweepService::stop()
+{
+    const int fd = impl_->self_pipe[1];
+    if (fd >= 0) {
+        const char byte = 's';
+        (void)!::write(fd, &byte, 1);
+    }
+}
+
+const std::string &
+SweepService::socketPath() const
+{
+    return impl_->opt.socket_path;
+}
+
+std::uint64_t
+SweepService::cellsExecuted() const
+{
+    return impl_->executed.load();
+}
+
+std::uint64_t
+SweepService::cellsFromCache() const
+{
+    return impl_->from_cache.load();
+}
+
+std::uint64_t
+SweepService::cellsDeduped() const
+{
+    return impl_->deduped.load();
+}
+
+std::uint64_t
+SweepService::workersKilled() const
+{
+    return impl_->killed.load();
+}
+
+} // namespace bauvm

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The sweep-service worker: a forked process that executes cell
+ * shards.
+ *
+ * Protocol (NDJSON, one document per line):
+ *
+ *   daemon -> worker (stdin pipe)
+ *     {"op":"run","cells":[{"index":N,"spec":<CellSpec>}, ...]}
+ *     {"op":"exit"}
+ *
+ *   worker -> daemon (stdout pipe)
+ *     {"op":"begin","index":N,"digest":"..."}
+ *     {"op":"results","items":[{"index":N,"outcome":<CellOutcome>}]}
+ *
+ * "begin" is sent before each cell starts, so the daemon can attribute
+ * a hard-timeout SIGKILL to the one cell that was actually running.
+ * Finished cells do NOT ship one-by-one: they accumulate in a
+ * ResultAggregator and flush as one "results" frame per flush_cells
+ * completions (and at chunk end), the Grappa-style batching that keeps
+ * daemon wakeups and cache-store passes amortized. A SIGKILL between
+ * flushes loses only recomputable work — results are deterministic.
+ *
+ * Ok outcomes are stored into the shared on-disk ResultCache by the
+ * worker itself (at flush time), so the daemon never re-serializes
+ * results it merely routes.
+ *
+ * The worker exits on "exit" or on stdin EOF — daemon death reaps the
+ * whole pool without signals.
+ */
+
+#ifndef BAUVM_SERVE_WORKER_H_
+#define BAUVM_SERVE_WORKER_H_
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <string>
+
+namespace bauvm
+{
+
+/** Per-pool execution options, fixed at fork time. */
+struct WorkerOptions {
+    std::string cache_dir;      //!< "" = no result-cache stores
+    double soft_timeout_s = 0.0;
+    std::size_t flush_cells = 8;
+    std::string git_rev;        //!< for digests; gitRev() when empty
+};
+
+/**
+ * The worker main loop over @p in_fd / @p out_fd. Blocks until "exit"
+ * or EOF. @return the process exit code (0 normal, 1 when the daemon
+ * pipe broke mid-write or a frame was malformed).
+ */
+int runWorkerLoop(int in_fd, int out_fd, const WorkerOptions &opt);
+
+/** One forked worker and its channel, as the daemon sees it. */
+struct WorkerProc {
+    pid_t pid = -1;
+    int to_fd = -1;   //!< daemon writes "run"/"exit" frames here
+    int from_fd = -1; //!< daemon polls "begin"/"results" frames here
+};
+
+/**
+ * fork()s a worker running runWorkerLoop(). The child shares no fds
+ * with the daemon beyond its two pipe ends and never returns (it
+ * _exit()s). fatal() when pipe()/fork() fail.
+ */
+WorkerProc spawnWorker(const WorkerOptions &opt);
+
+} // namespace bauvm
+
+#endif // BAUVM_SERVE_WORKER_H_

@@ -286,7 +286,7 @@ TEST(SweepResult, JsonExportCarriesSchemaAndCells)
     const SweepResult sweep = runner.run();
     const std::string json = sweep.toJson();
 
-    EXPECT_NE(json.find("\"schema\": \"bauvm.sweep/1.1\""),
+    EXPECT_NE(json.find("\"schema\": \"bauvm.sweep/1.2\""),
               std::string::npos);
     EXPECT_NE(json.find("\"bench\": \"test_export\""),
               std::string::npos);
