@@ -172,7 +172,10 @@ parseCellOutcome(const JsonValue &v, CellOutcome *out,
     res.host_wall_s = r->getDouble("host_wall_s");
     res.events_per_sec = r->getDouble("events_per_sec");
 
-    if (const JsonValue *records = r->find("batch_records")) {
+    // writeCellJson emits batch_records as a sibling of "result" on
+    // the cell object (not inside it) — read it from there, or every
+    // cache round-trip would silently drop the records.
+    if (const JsonValue *records = v.find("batch_records")) {
         if (!records->isArray())
             return failParse(
                 error, "cell outcome: batch_records is not an array");

@@ -2,6 +2,8 @@
 
 #include <unistd.h>
 
+#include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -131,9 +133,16 @@ ResultCache::store(const std::string &digest, const std::string &key,
         return false;
     }
 
-    char tmpname[64];
-    std::snprintf(tmpname, sizeof tmpname, ".tmp.%d.%s",
+    // pid + digest alone is not unique: two threads of one process
+    // (the threaded --resume SweepRunner) storing the same digest
+    // would share a temp path and interleave writes. A process-wide
+    // counter keeps every in-flight store on its own file.
+    static std::atomic<std::uint64_t> store_seq{0};
+    const std::uint64_t seq = store_seq.fetch_add(1);
+    char tmpname[96];
+    std::snprintf(tmpname, sizeof tmpname, ".tmp.%d.%llu.%s",
                   static_cast<int>(getpid()),
+                  static_cast<unsigned long long>(seq),
                   digest.substr(0, 16).c_str());
     const std::string tmp = parent.string() + "/" + tmpname;
     {

@@ -4,6 +4,7 @@
 #include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -413,6 +414,20 @@ SweepService::Impl::acceptClient()
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0)
         return;
+    if (opt.client_send_timeout_s > 0.0) {
+        // Bound every blocking write to this client: a reader that
+        // stalls (full socket buffer) makes writeLine fail with
+        // EAGAIN after the timeout, which aborts only that request.
+        struct timeval tv;
+        tv.tv_sec = static_cast<time_t>(opt.client_send_timeout_s);
+        tv.tv_usec = static_cast<suseconds_t>(
+            (opt.client_send_timeout_s - static_cast<double>(tv.tv_sec)) *
+            1e6);
+        if (::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv,
+                         sizeof tv) != 0)
+            warn("sweep service: SO_SNDTIMEO: %s",
+                 std::strerror(errno));
+    }
     if (conns.size() + requests.size() >= opt.max_requests) {
         sendError(fd, "sweep service: too many concurrent requests");
         ::close(fd);
@@ -688,14 +703,23 @@ void
 SweepService::Impl::cellComputed(Request &r, std::size_t i,
                                  CellOutcome outcome)
 {
-    const std::string &digest = r.digests[i];
+    const std::string digest = r.digests[i];
     completeCell(r, i, outcome, false);
     auto it = table.find(digest);
     if (it == table.end())
         return;
-    for (const auto &[wr, wi] : it->second.waiters)
-        completeCell(*wr, wi, outcome, true);
+    // completeCell -> sendCellEvent may abortRequest a waiter whose
+    // client write fails, and abortRequest edits every waiter vector
+    // in the table and can erase entries. Detach the list before
+    // delivering, and re-find the entry afterwards.
+    std::vector<std::pair<Request *, std::size_t>> waiters =
+        std::move(it->second.waiters);
     it->second.waiters.clear();
+    for (const auto &[wr, wi] : waiters)
+        completeCell(*wr, wi, outcome, true);
+    it = table.find(digest);
+    if (it == table.end())
+        return;
     if (outcome.ok) {
         it->second.done = true;
         it->second.owner = nullptr;
@@ -853,12 +877,23 @@ SweepService::Impl::workerFrame(WorkerState &ws,
                  error.c_str());
             continue;
         }
+        // A worker may only report cells of the shard it was sent,
+        // each at most once: anything else (buggy or corrupted
+        // worker) would index the request's arrays out of bounds.
+        bool expected = false;
         for (std::size_t c = 0; c < ws.chunk.size(); ++c) {
             if (ws.chunk[c] == index && !ws.resulted[c]) {
                 ws.resulted[c] = 1;
                 --ws.pending;
+                expected = true;
                 break;
             }
+        }
+        if (!expected || index >= r.cells.size()) {
+            warn("sweep service: dropping worker result for "
+                 "unexpected cell index %zu",
+                 index);
+            continue;
         }
         if (ws.running == static_cast<std::ptrdiff_t>(index))
             ws.running = -1;

@@ -55,6 +55,12 @@ struct SweepServiceOptions {
     std::string cache_dir;        //!< "" = result cache off
     std::size_t max_workers = 0;  //!< clamp on request jobs; 0 = none
     std::size_t max_requests = 64; //!< concurrent client connections
+    /** SO_SNDTIMEO applied to every client socket: a client that
+     *  stops draining its events blocks a write for at most this long
+     *  before its request aborts, instead of wedging the whole
+     *  single-threaded poll loop (and hard-timeout enforcement) for
+     *  everyone. 0 disables the guard. */
+    double client_send_timeout_s = 30.0;
     bool verbose = true;          //!< stderr request/kill logging
 };
 

@@ -370,6 +370,54 @@ TEST(ResultCacheTest, StoreThenLookupHits)
     EXPECT_EQ(hit.result.batches, 3u);
 }
 
+TEST(ResultCacheTest, BatchRecordsSurviveRoundTrip)
+{
+    // Figs 3/12-16 replay from cached cells, so the per-batch records
+    // must survive the store/lookup round-trip exactly — a resumed
+    // run must not differ from a fresh one.
+    const std::string dir = tempPath("rc_batchrec");
+    std::filesystem::remove_all(dir);
+    ResultCache cache(dir);
+
+    CellOutcome out = fakeOutcome("W", 42);
+    BatchRecord a;
+    a.begin = 100;
+    a.first_transfer = 110;
+    a.end = 150;
+    a.fault_pages = 7;
+    a.prefetch_pages = 3;
+    a.duplicate_faults = 1;
+    a.migrated_bytes = 65536;
+    BatchRecord b;
+    b.begin = 200;
+    b.first_transfer = 205;
+    b.end = 260;
+    b.fault_pages = 9;
+    b.migrated_bytes = 4096;
+    out.result.batch_records = {a, b};
+
+    const std::string key = "bauvm.cell/1|rev|W|tiny|cfg-br";
+    const std::string digest = digestHex(key);
+    ASSERT_TRUE(cache.store(digest, key, out));
+
+    CellOutcome hit;
+    ASSERT_TRUE(cache.lookup(digest, key, &hit));
+    ASSERT_EQ(hit.result.batch_records.size(), 2u);
+    const BatchRecord &ra = hit.result.batch_records[0];
+    EXPECT_EQ(ra.begin, a.begin);
+    EXPECT_EQ(ra.first_transfer, a.first_transfer);
+    EXPECT_EQ(ra.end, a.end);
+    EXPECT_EQ(ra.fault_pages, a.fault_pages);
+    EXPECT_EQ(ra.prefetch_pages, a.prefetch_pages);
+    EXPECT_EQ(ra.duplicate_faults, a.duplicate_faults);
+    EXPECT_EQ(ra.migrated_bytes, a.migrated_bytes);
+    const BatchRecord &rb = hit.result.batch_records[1];
+    EXPECT_EQ(rb.begin, b.begin);
+    EXPECT_EQ(rb.end, b.end);
+    EXPECT_EQ(rb.fault_pages, b.fault_pages);
+    EXPECT_EQ(rb.migrated_bytes, b.migrated_bytes);
+}
+
 TEST(ResultCacheTest, KeyMismatchReadsAsMiss)
 {
     // A digest collision (or a corrupted entry) must never serve a
