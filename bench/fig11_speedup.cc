@@ -30,6 +30,8 @@ main(int argc, char **argv)
     SweepSpec spec;
     spec.bench = "fig11_speedup";
     spec.workloads = irregularWorkloadNames();
+    if (!opt.workloads.empty())
+        spec.workloads = opt.workloads; // e.g. the frontier family
     spec.policies = allPolicies();
     spec.opt = opt;
 

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Frontier-suite evaluation matrix: the fig11-style speedup table over
+ * the frontier-phase workload family (direction-optimizing BFS, label
+ * propagation CC, triangle counting, k-truss) whose per-kernel access
+ * patterns shift with the frontier instead of repeating a fixed
+ * iteration shape — the regime batch-aware migration is built for.
+ *
+ * Defaults to every registered frontier workload; --workloads A,B,C
+ * restricts the suite (CI smoke runs BFS-HYB,CC). The (workload x
+ * policy) matrix runs on the parallel SweepRunner, so stdout is
+ * byte-identical for any --jobs value; pass --json PATH for the
+ * structured export and --audit for per-cell reference validation.
+ */
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "src/core/experiment.h"
+#include "src/core/report.h"
+#include "src/runner/sweep_runner.h"
+#include "src/workloads/workload_registry.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace bauvm;
+    const BenchOptions opt = parseBenchArgs(argc, argv);
+
+    SweepSpec spec;
+    spec.bench = "frontier_suite";
+    spec.workloads =
+        WorkloadRegistry::instance().enumerate(WorkloadKind::Frontier);
+    if (!opt.workloads.empty())
+        spec.workloads = opt.workloads;
+    spec.policies = allPolicies();
+    spec.opt = opt;
+
+    SweepRunner runner(spec);
+    const SweepResult sweep = runner.run();
+    std::fprintf(
+        stderr, "frontier_suite: %zu-cell matrix on %zu worker(s) in %.2fs\n",
+        sweep.cells.size(), sweep.jobs, sweep.elapsed_s);
+    if (!opt.json_path.empty())
+        sweep.writeJson(opt.json_path);
+
+    printBanner("Frontier suite: speedup over BASELINE");
+    std::vector<std::string> headers = {"workload"};
+    for (Policy p : spec.policies)
+        headers.push_back(policyName(p));
+    Table t(headers);
+
+    std::map<Policy, std::vector<double>> speedups;
+    for (const auto &w : spec.workloads) {
+        const CellOutcome *base = sweep.find(w, Policy::Baseline);
+        if (!base || !base->ok) {
+            warn("frontier_suite: skipping %s (baseline cell failed)",
+                 w.c_str());
+            continue;
+        }
+        const double base_cycles =
+            static_cast<double>(base->result.cycles);
+        std::vector<std::string> row = {w};
+        for (Policy p : spec.policies) {
+            const CellOutcome *cell = sweep.find(w, p);
+            if (!cell || !cell->ok) {
+                row.push_back("FAIL");
+                continue;
+            }
+            const double s =
+                base_cycles / static_cast<double>(cell->result.cycles);
+            speedups[p].push_back(s);
+            row.push_back(Table::num(s, 2));
+        }
+        t.addRow(row);
+    }
+    std::vector<std::string> gmean = {"GEOMEAN"};
+    for (Policy p : spec.policies)
+        gmean.push_back(Table::num(geomean(speedups[p]), 2));
+    t.addRow(gmean);
+    t.emit(opt.csv);
+    return 0;
+}

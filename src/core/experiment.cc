@@ -7,6 +7,7 @@
 #include "src/runner/job.h"
 #include "src/runner/sweep_runner.h"
 #include "src/sim/log.h"
+#include "src/workloads/workload_registry.h"
 
 namespace bauvm
 {
@@ -19,9 +20,9 @@ printBenchUsage(std::FILE *out)
 {
     std::fprintf(
         out,
-        "options: --scale tiny|small|medium|large --ratio R "
+        "options: --scale tiny|small|medium|large|huge --ratio R "
         "--seed N --csv --jobs N --json PATH --timeout S "
-        "--trace[=DIR] --audit --resume[=DIR]\n"
+        "--trace[=DIR] --audit --resume[=DIR] --workloads A,B,C\n"
         "  --jobs N     sweep worker threads "
         "(0 = hardware concurrency, default)\n"
         "  --json PATH  export sweep results as JSON "
@@ -34,7 +35,9 @@ printBenchUsage(std::FILE *out)
         "auditor (invariant violations fail the cell)\n"
         "  --resume[=DIR] checkpoint finished cells in a content-\n"
         "               addressed on-disk cache and load them on the\n"
-        "               next run (default dir: .bauvm-cells)\n");
+        "               next run (default dir: .bauvm-cells)\n"
+        "  --workloads A,B,C  restrict the bench to a comma-separated\n"
+        "               workload subset (names from the registry)\n");
 }
 
 } // namespace
@@ -78,6 +81,8 @@ parseBenchArgs(int argc, char **argv)
                 opt.scale = WorkloadScale::Medium;
             else if (v == "large")
                 opt.scale = WorkloadScale::Large;
+            else if (v == "huge")
+                opt.scale = WorkloadScale::Huge;
             else
                 fatal("unknown scale '%s'", v.c_str());
         } else if (arg == "--ratio") {
@@ -100,6 +105,27 @@ parseBenchArgs(int argc, char **argv)
                 fatal("--trace= requires a directory");
         } else if (arg == "--audit") {
             opt.audit = true;
+        } else if (arg == "--workloads") {
+            const std::string list = next("--workloads");
+            std::size_t start = 0;
+            while (start <= list.size()) {
+                const std::size_t comma = list.find(',', start);
+                const std::string name = list.substr(
+                    start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+                if (!name.empty()) {
+                    if (!WorkloadRegistry::instance().contains(name)) {
+                        fatal("--workloads: unknown workload '%s'",
+                              name.c_str());
+                    }
+                    opt.workloads.push_back(name);
+                }
+                if (comma == std::string::npos)
+                    break;
+                start = comma + 1;
+            }
+            if (opt.workloads.empty())
+                fatal("--workloads: empty workload list");
         } else if (arg == "--resume") {
             opt.resume_dir = ".bauvm-cells";
         } else if (arg.rfind("--resume=", 0) == 0) {
@@ -129,6 +155,8 @@ scaleName(WorkloadScale scale)
         return "medium";
       case WorkloadScale::Large:
         return "large";
+      case WorkloadScale::Huge:
+        return "huge";
     }
     fatal("scaleName: bad scale");
 }

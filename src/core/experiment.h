@@ -47,12 +47,15 @@ struct BenchOptions {
      *  checkpointed by content address (src/serve/result_cache.h)
      *  and loaded instead of recomputed on the next run. */
     std::string resume_dir;
+    /** Workload subset override (--workloads A,B,C, validated against
+     *  the registry); empty = the bench's default set. */
+    std::vector<std::string> workloads;
 };
 
 /**
- * Parses --scale tiny|small|medium|large, --csv, --ratio R, --seed N,
- * --jobs N, --json PATH, --timeout S, --trace[=DIR], --audit,
- * --resume[=DIR].
+ * Parses --scale tiny|small|medium|large|huge, --csv, --ratio R,
+ * --seed N, --jobs N, --json PATH, --timeout S, --trace[=DIR],
+ * --audit, --resume[=DIR], --workloads A,B,C.
  *
  * An unknown argument prints the usage text to stderr and exits with an
  * error (fatal(), so a ScopedAbortCapture turns it into SimAbort).

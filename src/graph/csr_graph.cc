@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
 #include "src/sim/log.h"
 
@@ -39,6 +40,19 @@ CsrGraph::fromEdges(
         if (!weights.empty())
             g.weights_[pos] = weights[i];
     }
+    return g;
+}
+
+CsrGraph
+CsrGraph::fromCsrArrays(std::vector<std::uint64_t> row_offsets,
+                        std::vector<VertexId> col_indices,
+                        std::vector<std::uint32_t> weights)
+{
+    CsrGraph g;
+    g.row_offsets_ = std::move(row_offsets);
+    g.col_indices_ = std::move(col_indices);
+    g.weights_ = std::move(weights);
+    g.validate();
     return g;
 }
 

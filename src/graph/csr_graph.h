@@ -37,6 +37,15 @@ class CsrGraph
         const std::vector<std::pair<VertexId, VertexId>> &edges,
         const std::vector<std::uint32_t> &weights = {});
 
+    /**
+     * Adopts pre-built CSR arrays (validated, then moved in). Used by
+     * the external-memory builder, which assembles the arrays without
+     * ever holding an edge list.
+     */
+    static CsrGraph fromCsrArrays(std::vector<std::uint64_t> row_offsets,
+                                  std::vector<VertexId> col_indices,
+                                  std::vector<std::uint32_t> weights = {});
+
     VertexId numVertices() const
     {
         return static_cast<VertexId>(row_offsets_.size()) - 1;

@@ -1,8 +1,12 @@
 #include "src/graph/generator.h"
 
+#include <algorithm>
+#include <numeric>
+#include <span>
 #include <utility>
 #include <vector>
 
+#include "src/graph/stream/rmat_stream.h"
 #include "src/sim/log.h"
 
 namespace bauvm
@@ -10,15 +14,6 @@ namespace bauvm
 
 namespace
 {
-
-VertexId
-roundUpPow2(VertexId v)
-{
-    VertexId p = 1;
-    while (p < v)
-        p <<= 1;
-    return p;
-}
 
 void
 appendEdge(std::vector<std::pair<VertexId, VertexId>> &edges,
@@ -45,35 +40,54 @@ appendEdge(std::vector<std::pair<VertexId, VertexId>> &edges,
 CsrGraph
 generateRmat(const RmatParams &params)
 {
-    const double d = 1.0 - params.a - params.b - params.c;
-    if (d < 0.0)
-        fatal("generateRmat: probabilities exceed 1");
-
-    const VertexId n = roundUpPow2(params.num_vertices);
-    Rng rng(params.seed);
+    // The in-core generator is the concatenation of the seed-
+    // addressable edge stream's blocks, so streamed and in-core
+    // consumers see the identical edge sequence by construction.
+    const StreamedRmatGenerator gen(params);
     std::vector<std::pair<VertexId, VertexId>> edges;
     std::vector<std::uint32_t> weights;
     edges.reserve(params.num_edges * (params.undirected ? 2 : 1));
-
-    for (std::uint64_t e = 0; e < params.num_edges; ++e) {
-        VertexId src = 0, dst = 0;
-        for (VertexId bit = n >> 1; bit > 0; bit >>= 1) {
-            const double r = rng.nextDouble();
-            if (r < params.a) {
-                // top-left quadrant: no bits set
-            } else if (r < params.a + params.b) {
-                dst |= bit;
-            } else if (r < params.a + params.b + params.c) {
-                src |= bit;
-            } else {
-                src |= bit;
-                dst |= bit;
-            }
-        }
-        appendEdge(edges, weights, params.weighted, params.undirected,
-                   src, dst, rng);
+    RmatStreamBlock block;
+    for (std::uint64_t b = 0; b < gen.numBlocks(); ++b) {
+        gen.block(b, &block);
+        edges.insert(edges.end(), block.edges.begin(),
+                     block.edges.end());
+        weights.insert(weights.end(), block.weights.begin(),
+                       block.weights.end());
     }
-    return CsrGraph::fromEdges(n, edges, weights);
+    return CsrGraph::fromEdges(gen.numVertices(), edges, weights);
+}
+
+CsrGraph
+relabelByDegree(const CsrGraph &raw)
+{
+    const bool weighted = raw.weighted();
+    const VertexId n = raw.numVertices();
+    std::vector<VertexId> by_degree(n);
+    std::iota(by_degree.begin(), by_degree.end(), 0);
+    std::stable_sort(by_degree.begin(), by_degree.end(),
+                     [&raw](VertexId a, VertexId b) {
+                         return raw.degree(a) > raw.degree(b);
+                     });
+    std::vector<VertexId> new_id(n);
+    for (VertexId i = 0; i < n; ++i)
+        new_id[by_degree[i]] = i;
+    std::vector<std::pair<VertexId, VertexId>> edges;
+    std::vector<std::uint32_t> wts;
+    edges.reserve(raw.numEdges());
+    for (VertexId v = 0; v < n; ++v) {
+        const auto nbrs = raw.neighbors(v);
+        const auto ew = weighted ? raw.edgeWeights(v)
+                                 : std::span<const std::uint32_t>{};
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+            edges.emplace_back(new_id[v], new_id[nbrs[i]]);
+            if (weighted)
+                wts.push_back(ew[i]);
+        }
+    }
+    CsrGraph graph = CsrGraph::fromEdges(n, edges, wts);
+    graph.validate();
+    return graph;
 }
 
 CsrGraph

@@ -33,6 +33,16 @@ struct RmatParams {
 /** Generates an R-MAT graph. */
 CsrGraph generateRmat(const RmatParams &params);
 
+/**
+ * Relabels vertices by descending degree (stable; ties keep old-id
+ * order). Real GraphBIG inputs (crawled social/web graphs) have strong
+ * id locality — hot hub data clusters on few pages — whereas raw R-MAT
+ * ids scatter maximally; the relabeling restores that property. Used
+ * by every graph workload build and matched bit for bit by the
+ * external-memory builder (src/graph/stream/csr_stream_builder).
+ */
+CsrGraph relabelByDegree(const CsrGraph &raw);
+
 /** Generates a uniform random graph with the same knobs. */
 CsrGraph generateUniform(VertexId num_vertices, std::uint64_t num_edges,
                          bool undirected, bool weighted,

@@ -41,12 +41,17 @@ namespace bauvm
 class GraphBuildCache
 {
   public:
-    /** Everything a build depends on; equal key => identical graph. */
+    /** Everything a build depends on; equal key => identical graph.
+     *  The stream parameters are part of the key even though streamed
+     *  and in-core builds are bit-identical: keying on the full build
+     *  configuration keeps cache transparency trivially auditable. */
     struct Key {
         std::uint64_t vertices = 0;
         std::uint64_t edges = 0;
         std::uint64_t seed = 0;
         bool weighted = false;
+        bool streamed = false;
+        std::uint64_t edges_per_block = 0; //!< 0 when not streamed
 
         bool
         operator<(const Key &o) const
@@ -57,7 +62,11 @@ class GraphBuildCache
                 return edges < o.edges;
             if (seed != o.seed)
                 return seed < o.seed;
-            return weighted < o.weighted;
+            if (weighted != o.weighted)
+                return weighted < o.weighted;
+            if (streamed != o.streamed)
+                return streamed < o.streamed;
+            return edges_per_block < o.edges_per_block;
         }
     };
 

@@ -150,6 +150,142 @@ bcFromSource(const CsrGraph &g, VertexId source)
     return delta;
 }
 
+std::vector<std::uint32_t>
+componentLabels(const CsrGraph &g)
+{
+    const VertexId n = g.numVertices();
+    std::vector<std::uint32_t> label(n, kInfinity);
+    std::deque<VertexId> queue;
+    for (VertexId root = 0; root < n; ++root) {
+        if (label[root] != kInfinity)
+            continue;
+        // Vertices are visited in increasing id order, so the root is
+        // the component's smallest id.
+        label[root] = root;
+        queue.push_back(root);
+        while (!queue.empty()) {
+            const VertexId v = queue.front();
+            queue.pop_front();
+            for (VertexId nb : g.neighbors(v)) {
+                if (label[nb] == kInfinity) {
+                    label[nb] = root;
+                    queue.push_back(nb);
+                }
+            }
+        }
+    }
+    return label;
+}
+
+ForwardAdjacency
+buildForwardAdjacency(const CsrGraph &g)
+{
+    const VertexId n = g.numVertices();
+    ForwardAdjacency fwd;
+    fwd.row.assign(static_cast<std::size_t>(n) + 1, 0);
+    std::vector<VertexId> scratch;
+    for (VertexId v = 0; v < n; ++v) {
+        scratch.clear();
+        for (VertexId nb : g.neighbors(v)) {
+            if (nb < v)
+                scratch.push_back(nb);
+        }
+        std::sort(scratch.begin(), scratch.end());
+        scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                      scratch.end());
+        fwd.row[v + 1] = fwd.row[v] + scratch.size();
+        fwd.col.insert(fwd.col.end(), scratch.begin(), scratch.end());
+    }
+    return fwd;
+}
+
+namespace
+{
+
+/** Sorted-range membership test over one forward row. */
+bool
+hasForwardEdge(const ForwardAdjacency &fwd, VertexId u, VertexId w)
+{
+    const auto *begin = fwd.col.data() + fwd.row[u];
+    const auto *end = fwd.col.data() + fwd.row[u + 1];
+    return std::binary_search(begin, end, w);
+}
+
+} // namespace
+
+std::vector<std::uint64_t>
+triangleCounts(const CsrGraph &g)
+{
+    const ForwardAdjacency fwd = buildForwardAdjacency(g);
+    const VertexId n = g.numVertices();
+    std::vector<std::uint64_t> count(n, 0);
+    for (VertexId u = 0; u < n; ++u) {
+        // col is ascending, so col[i] < col[j]; the pair's own edge
+        // lives in the forward row of the larger endpoint col[j].
+        for (std::uint64_t i = fwd.row[u]; i < fwd.row[u + 1]; ++i) {
+            for (std::uint64_t j = i + 1; j < fwd.row[u + 1]; ++j) {
+                if (hasForwardEdge(fwd, fwd.col[j], fwd.col[i]))
+                    ++count[u];
+            }
+        }
+    }
+    return count;
+}
+
+std::vector<std::uint8_t>
+ktrussAliveEdges(const CsrGraph &g, std::uint32_t k)
+{
+    const ForwardAdjacency fwd = buildForwardAdjacency(g);
+    const std::uint64_t m = fwd.col.size();
+    const VertexId n = g.numVertices();
+    std::vector<std::uint8_t> alive(m, 1);
+    if (k < 3)
+        return alive;
+
+    // Edge lookup (u, w) -> forward edge index, for alive checks.
+    auto edgeIndex = [&fwd](VertexId u, VertexId w) -> std::uint64_t {
+        const auto *begin = fwd.col.data() + fwd.row[u];
+        const auto *end = fwd.col.data() + fwd.row[u + 1];
+        const auto *it = std::lower_bound(begin, end, w);
+        return fwd.row[u] + static_cast<std::uint64_t>(it - begin);
+    };
+
+    bool changed = true;
+    std::vector<std::uint64_t> support(m);
+    while (changed) {
+        changed = false;
+        std::fill(support.begin(), support.end(), 0);
+        // Count, per alive edge, the triangles formed with two other
+        // alive edges.
+        for (VertexId u = 0; u < n; ++u) {
+            for (std::uint64_t i = fwd.row[u]; i < fwd.row[u + 1]; ++i) {
+                if (!alive[i])
+                    continue;
+                for (std::uint64_t j = i + 1; j < fwd.row[u + 1]; ++j) {
+                    if (!alive[j])
+                        continue;
+                    const VertexId a = fwd.col[i], b = fwd.col[j];
+                    if (!hasForwardEdge(fwd, b, a))
+                        continue;
+                    const std::uint64_t e = edgeIndex(b, a);
+                    if (!alive[e])
+                        continue;
+                    ++support[i];
+                    ++support[j];
+                    ++support[e];
+                }
+            }
+        }
+        for (std::uint64_t e = 0; e < m; ++e) {
+            if (alive[e] && support[e] < k - 2) {
+                alive[e] = 0;
+                changed = true;
+            }
+        }
+    }
+    return alive;
+}
+
 bool
 isProperColoring(const CsrGraph &g,
                  const std::vector<std::uint32_t> &colors)

@@ -42,6 +42,38 @@ std::vector<double> bcFromSource(const CsrGraph &g, VertexId source);
 bool isProperColoring(const CsrGraph &g,
                       const std::vector<std::uint32_t> &colors);
 
+/** Connected-component label of every vertex: the smallest vertex id
+ *  in its component (the fixed point label propagation reaches on an
+ *  undirected graph). */
+std::vector<std::uint32_t> componentLabels(const CsrGraph &g);
+
+/**
+ * Forward-oriented, deduplicated adjacency of the simple graph
+ * underlying @p g: for each vertex, the sorted unique neighbours with
+ * a *smaller* id. On the degree-relabeled workload graphs (id 0 =
+ * highest degree) this orients every edge toward its higher-degree
+ * endpoint, which bounds out-degrees near sqrt(E) and keeps hub-
+ * rooted pair enumeration tractable. Canonical edge indexing shared
+ * by the TC and KTRUSS workloads and their references (edge e is
+ * (src(e), col[e]) with row[v] <= e < row[v+1] => src(e) = v).
+ */
+struct ForwardAdjacency {
+    std::vector<std::uint64_t> row; //!< size V+1
+    std::vector<VertexId> col;      //!< sorted, unique within a row
+};
+ForwardAdjacency buildForwardAdjacency(const CsrGraph &g);
+
+/** Per-vertex triangle counts over the simple graph: triangle
+ *  w < v < u is counted once, at its largest vertex u. The graph's
+ *  total triangle count is the sum. */
+std::vector<std::uint64_t> triangleCounts(const CsrGraph &g);
+
+/** Alive mask of the k-truss over buildForwardAdjacency(g)'s edge
+ *  indexing: edges surviving iterated removal of edges in fewer than
+ *  k - 2 triangles. */
+std::vector<std::uint8_t> ktrussAliveEdges(const CsrGraph &g,
+                                           std::uint32_t k);
+
 } // namespace bauvm::reference
 
 #endif // BAUVM_GRAPH_REFERENCE_ALGORITHMS_H_

@@ -1,0 +1,139 @@
+#include "src/graph/stream/rmat_stream.h"
+
+#include <algorithm>
+
+#include "src/sim/log.h"
+
+namespace bauvm
+{
+
+namespace
+{
+
+VertexId
+roundUpPow2(VertexId v)
+{
+    VertexId p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+/**
+ * Draws one raw R-MAT edge, consuming exactly the RNG sequence the
+ * original sequential generator consumed: log2(n) quadrant draws, then
+ * one weight draw iff the graph is weighted and the edge is not a
+ * dropped self loop. @return false when the edge is a self loop.
+ */
+bool
+drawEdge(Rng &rng, VertexId n, const RmatParams &p, VertexId *src,
+         VertexId *dst, std::uint32_t *weight)
+{
+    VertexId s = 0, d = 0;
+    for (VertexId bit = n >> 1; bit > 0; bit >>= 1) {
+        const double r = rng.nextDouble();
+        if (r < p.a) {
+            // top-left quadrant: no bits set
+        } else if (r < p.a + p.b) {
+            d |= bit;
+        } else if (r < p.a + p.b + p.c) {
+            s |= bit;
+        } else {
+            s |= bit;
+            d |= bit;
+        }
+    }
+    if (s == d)
+        return false;
+    *src = s;
+    *dst = d;
+    if (p.weighted)
+        *weight = static_cast<std::uint32_t>(rng.nextRange(1, 64));
+    return true;
+}
+
+} // namespace
+
+void
+validateRmatParams(const RmatParams &params)
+{
+    if (params.a < 0.0 || params.b < 0.0 || params.c < 0.0) {
+        fatal("RmatParams: negative partition probability "
+              "(a=%g b=%g c=%g)",
+              params.a, params.b, params.c);
+    }
+    if (params.a + params.b + params.c >= 1.0) {
+        fatal("RmatParams: partition probabilities must satisfy "
+              "a + b + c < 1 (got %g)",
+              params.a + params.b + params.c);
+    }
+    if (params.num_edges == 0)
+        fatal("RmatParams: num_edges must be non-zero");
+    if (params.num_vertices < 2)
+        fatal("RmatParams: need at least two vertices");
+}
+
+StreamedRmatGenerator::StreamedRmatGenerator(
+    const RmatParams &params, std::uint32_t edges_per_block)
+    : params_(params), edges_per_block_(edges_per_block)
+{
+    validateRmatParams(params_);
+    if (edges_per_block_ == 0)
+        fatal("StreamedRmatGenerator: edges_per_block must be > 0");
+    num_vertices_ = roundUpPow2(params_.num_vertices);
+
+    // Capture pass: replay the full draw sequence once, recording the
+    // generator state at each block boundary. No edges are stored.
+    const std::uint64_t blocks =
+        (params_.num_edges + edges_per_block_ - 1) / edges_per_block_;
+    block_start_.reserve(blocks);
+    Rng rng(params_.seed);
+    VertexId src, dst;
+    std::uint32_t weight;
+    for (std::uint64_t e = 0; e < params_.num_edges; ++e) {
+        if (e % edges_per_block_ == 0)
+            block_start_.push_back(rng);
+        drawEdge(rng, num_vertices_, params_, &src, &dst, &weight);
+    }
+}
+
+std::uint64_t
+StreamedRmatGenerator::rawEdgesInBlock(std::uint64_t b) const
+{
+    if (b >= block_start_.size())
+        panic("StreamedRmatGenerator: block %llu out of range",
+              static_cast<unsigned long long>(b));
+    const std::uint64_t begin = b * edges_per_block_;
+    const std::uint64_t end =
+        std::min<std::uint64_t>(begin + edges_per_block_,
+                                params_.num_edges);
+    return end - begin;
+}
+
+void
+StreamedRmatGenerator::block(std::uint64_t b, RmatStreamBlock *out) const
+{
+    out->clear();
+    const std::uint64_t raw = rawEdgesInBlock(b);
+    out->edges.reserve(raw * (params_.undirected ? 2 : 1));
+    if (params_.weighted)
+        out->weights.reserve(raw * (params_.undirected ? 2 : 1));
+
+    Rng rng = block_start_[b]; // value copy: replay from the boundary
+    VertexId src, dst;
+    std::uint32_t weight = 0;
+    for (std::uint64_t e = 0; e < raw; ++e) {
+        if (!drawEdge(rng, num_vertices_, params_, &src, &dst, &weight))
+            continue; // self loop: dropped, no weight drawn
+        out->edges.emplace_back(src, dst);
+        if (params_.weighted)
+            out->weights.push_back(weight);
+        if (params_.undirected) {
+            out->edges.emplace_back(dst, src);
+            if (params_.weighted)
+                out->weights.push_back(weight);
+        }
+    }
+}
+
+} // namespace bauvm

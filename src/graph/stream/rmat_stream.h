@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Seed-addressable out-of-core R-MAT edge stream.
+ *
+ * StreamedRmatGenerator slices the canonical R-MAT edge sequence of an
+ * RmatParams into fixed-size blocks that can be regenerated on demand,
+ * in any order, without ever materializing the full edge list. Each
+ * block's generator state is a pure function of (seed, block layout):
+ * construction replays the RNG draw sequence once — O(num_edges) time,
+ * O(num_blocks) memory, no edge storage — capturing the generator
+ * state at every block boundary, and block(b) then replays just that
+ * block from its captured state.
+ *
+ * The stream is definitionally bit-identical to generateRmat(): the
+ * in-core generator is itself implemented as the concatenation of all
+ * blocks, so a streamed consumer (src/graph/stream/csr_stream_builder)
+ * sees exactly the edge sequence, self-loop drops, reverse-edge
+ * doubling and weight draws an in-core build sees.
+ */
+
+#ifndef BAUVM_GRAPH_STREAM_RMAT_STREAM_H_
+#define BAUVM_GRAPH_STREAM_RMAT_STREAM_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/graph/generator.h"
+#include "src/sim/rng.h"
+
+namespace bauvm
+{
+
+/** Stream granularity: raw R-MAT draws per block (before self-loop
+ *  drops and undirected doubling). Block boundaries do not affect the
+ *  generated graph — only regeneration granularity. */
+constexpr std::uint32_t kDefaultEdgesPerBlock = 1u << 16;
+
+/** One regenerated block of the edge stream: the surviving directed
+ *  edges (reverse edges included for undirected graphs) and, for
+ *  weighted graphs, the parallel weight array. */
+struct RmatStreamBlock {
+    std::vector<std::pair<VertexId, VertexId>> edges;
+    std::vector<std::uint32_t> weights;
+
+    void
+    clear()
+    {
+        edges.clear();
+        weights.clear();
+    }
+};
+
+/** Fatal()s unless @p params describes a generatable graph: partition
+ *  probabilities must be non-negative with a + b + c < 1, and
+ *  num_edges must be non-zero. */
+void validateRmatParams(const RmatParams &params);
+
+/** See file doc. */
+class StreamedRmatGenerator
+{
+  public:
+    explicit StreamedRmatGenerator(
+        const RmatParams &params,
+        std::uint32_t edges_per_block = kDefaultEdgesPerBlock);
+
+    const RmatParams &params() const { return params_; }
+    /** Vertex count after the generator's power-of-two round-up. */
+    VertexId numVertices() const { return num_vertices_; }
+    std::uint32_t edgesPerBlock() const { return edges_per_block_; }
+    std::uint64_t numBlocks() const { return block_start_.size(); }
+
+    /** Raw draw count of block @p b (== edgesPerBlock() except for the
+     *  tail block). The surviving directed edge count may be smaller
+     *  (self loops) or up to 2x (undirected doubling). */
+    std::uint64_t rawEdgesInBlock(std::uint64_t b) const;
+
+    /**
+     * Regenerates block @p b into @p out (cleared first). Deterministic
+     * and order-independent: any call sequence yields the same block
+     * contents.
+     */
+    void block(std::uint64_t b, RmatStreamBlock *out) const;
+
+  private:
+    RmatParams params_;
+    std::uint32_t edges_per_block_;
+    VertexId num_vertices_;
+    std::vector<Rng> block_start_; //!< RNG state per block boundary
+};
+
+} // namespace bauvm
+
+#endif // BAUVM_GRAPH_STREAM_RMAT_STREAM_H_

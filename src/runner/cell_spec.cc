@@ -11,6 +11,7 @@
 
 #include "src/core/experiment.h"
 #include "src/core/system.h"
+#include "src/graph/stream/csr_stream_builder.h"
 #include "src/sim/log.h"
 #include "src/trace/trace_export.h"
 #include "src/workloads/workload_registry.h"
@@ -390,12 +391,23 @@ std::string
 cellKey(const std::string &workload, WorkloadScale scale,
         const SimConfig &config, const std::string &git_rev)
 {
-    std::string key = "bauvm.cell/1|";
+    // /2: the graph-stream parameters joined the key. Streamed and
+    // in-core builds are differential-tested bit-identical, but the
+    // stream config is still build provenance — folding it keeps the
+    // result cache honest if that guarantee ever regresses, at the
+    // cost of re-keying every cell when the config changes.
+    const GraphStreamConfig &gs = graphStreamConfig();
+    std::string key = "bauvm.cell/2|";
     key += git_rev;
     key += '|';
     key += workload;
     key += '|';
     key += scaleName(scale);
+    key += '|';
+    appendKv(key, "stream.threshold_edges", gs.stream_threshold_edges);
+    appendKv(key, "stream.edges_per_block",
+             static_cast<std::uint64_t>(gs.edges_per_block));
+    appendKv(key, "stream.scratch_bytes", gs.scratch_bytes);
     key += '|';
     key += canonicalConfigString(config);
     return key;
@@ -474,6 +486,11 @@ executeCell(const CellExecArgs &args)
             WorkloadRegistry::instance().create(args.workload);
         system = std::make_unique<GpuUvmSystem>(config);
         out.result = system->run(*workload, args.scale);
+        // --audit cells also check the functional result against the
+        // workload's host-side reference implementation; a mismatch
+        // panics and fails the cell like any model-invariant breach.
+        if (config.check.enabled)
+            workload->validate();
         out.ok = true;
     } catch (const SimAbort &e) {
         aborted = true;

@@ -90,9 +90,11 @@ std::string canonicalConfigString(const SimConfig &config);
 
 /**
  * The full content-address key of one cell:
- * "bauvm.cell/1|<git_rev>|<workload>|<scale>|<canonical config>".
- * The config embeds the seed and memory ratio, so they need no
- * separate lanes.
+ * "bauvm.cell/2|<git_rev>|<workload>|<scale>|<stream params>|
+ * <canonical config>". The config embeds the seed and memory ratio,
+ * so they need no separate lanes; the graph-stream parameters
+ * (graphStreamConfig()) get their own lane because they live outside
+ * SimConfig.
  */
 std::string cellKey(const std::string &workload, WorkloadScale scale,
                     const SimConfig &config,

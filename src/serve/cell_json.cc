@@ -39,7 +39,8 @@ scaleFromName(const std::string &name, WorkloadScale *out)
 {
     for (WorkloadScale s :
          {WorkloadScale::Tiny, WorkloadScale::Small,
-          WorkloadScale::Medium, WorkloadScale::Large}) {
+          WorkloadScale::Medium, WorkloadScale::Large,
+          WorkloadScale::Huge}) {
         if (scaleName(s) == name) {
             *out = s;
             return true;

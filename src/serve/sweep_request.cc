@@ -21,17 +21,21 @@ failParse(std::string *error, const std::string &what)
     return false;
 }
 
-/** Expands one workloads[] entry: "@irregular"/"@regular"/"@all" into
- *  registry enumerations, anything else checked against the registry. */
+/** Expands one workloads[] entry: "@irregular"/"@regular"/"@frontier"/
+ *  "@all" into registry enumerations, anything else checked against
+ *  the registry. */
 bool
 expandWorkloadEntry(const std::string &entry,
                     std::vector<std::string> *out, std::string *error)
 {
     const WorkloadRegistry &reg = WorkloadRegistry::instance();
-    if (entry == "@irregular" || entry == "@regular") {
+    if (entry == "@irregular" || entry == "@regular" ||
+        entry == "@frontier") {
         const WorkloadKind kind = entry == "@irregular"
                                       ? WorkloadKind::Irregular
-                                      : WorkloadKind::Regular;
+                                  : entry == "@regular"
+                                      ? WorkloadKind::Regular
+                                      : WorkloadKind::Frontier;
         for (const std::string &name : reg.enumerate(kind))
             out->push_back(name);
         return true;

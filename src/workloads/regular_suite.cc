@@ -64,6 +64,8 @@ elementsFor(WorkloadScale scale)
         return 1 << 20;
       case WorkloadScale::Large:
         return 1 << 22;
+      case WorkloadScale::Huge:
+        return 1 << 24;
     }
     fatal("RegularWorkload: bad scale");
 }

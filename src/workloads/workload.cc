@@ -6,6 +6,7 @@
 
 #include "src/graph/generator.h"
 #include "src/graph/graph_cache.h"
+#include "src/graph/stream/csr_stream_builder.h"
 #include "src/sim/log.h"
 #include "src/workloads/graph_workload.h"
 #include "src/workloads/workload_registry.h"
@@ -25,6 +26,14 @@ graphScale(WorkloadScale scale)
         return GraphScale{65536, 1 << 20, 2};
       case WorkloadScale::Large:
         return GraphScale{262144, 4 << 20, 2};
+      case WorkloadScale::Huge:
+        // Paper-scale tier: ~2M vertices, ~21M raw edges (~42M
+        // directed after undirected doubling) put the shared CSR at
+        // 349 MB+ of unified memory — the paper's largest real
+        // dataset regime. Builds at this tier go through the
+        // external-memory path (src/graph/stream), never holding the
+        // edge list in host RAM.
+        return GraphScale{2097152, 20971520, 2};
     }
     fatal("graphScale: bad scale");
 }
@@ -32,42 +41,21 @@ graphScale(WorkloadScale scale)
 namespace
 {
 
-/** Generates the R-MAT input and degree-relabels it (see below). */
+/** Generates the R-MAT input and degree-relabels it, choosing the
+ *  in-core or external-memory path by edge count (both paths are
+ *  bit-identical; the streamed one bounds host RAM). */
 CsrGraph
-buildRelabeledRmat(const RmatParams &params, bool weighted)
+buildRelabeledRmat(const RmatParams &params, bool streamed)
 {
-    CsrGraph raw = generateRmat(params);
-
-    // Relabel vertices by descending degree. Real GraphBIG inputs
-    // (crawled social/web graphs) have strong id locality — hot hub
-    // data clusters on few pages — whereas raw R-MAT ids scatter
-    // maximally. The relabeling restores that property.
-    const VertexId n = raw.numVertices();
-    std::vector<VertexId> by_degree(n);
-    std::iota(by_degree.begin(), by_degree.end(), 0);
-    std::stable_sort(by_degree.begin(), by_degree.end(),
-                     [&raw](VertexId a, VertexId b) {
-                         return raw.degree(a) > raw.degree(b);
-                     });
-    std::vector<VertexId> new_id(n);
-    for (VertexId i = 0; i < n; ++i)
-        new_id[by_degree[i]] = i;
-    std::vector<std::pair<VertexId, VertexId>> edges;
-    std::vector<std::uint32_t> wts;
-    edges.reserve(raw.numEdges());
-    for (VertexId v = 0; v < n; ++v) {
-        const auto nbrs = raw.neighbors(v);
-        const auto ew = weighted ? raw.edgeWeights(v)
-                                 : std::span<const std::uint32_t>{};
-        for (std::size_t i = 0; i < nbrs.size(); ++i) {
-            edges.emplace_back(new_id[v], new_id[nbrs[i]]);
-            if (weighted)
-                wts.push_back(ew[i]);
-        }
+    if (streamed) {
+        const GraphStreamConfig &cfg = graphStreamConfig();
+        StreamCsrOptions opt;
+        opt.edges_per_block = cfg.edges_per_block;
+        opt.scratch_bytes = cfg.scratch_bytes;
+        opt.relabel_by_degree = true;
+        return buildCsrStreamed(params, opt);
     }
-    CsrGraph graph = CsrGraph::fromEdges(n, edges, wts);
-    graph.validate();
-    return graph;
+    return relabelByDegree(generateRmat(params));
 }
 
 } // namespace
@@ -88,10 +76,18 @@ GraphWorkloadBase::buildGraph(WorkloadScale scale, std::uint64_t seed,
     // Memoized across sweep cells: every policy cell of a workload
     // uses the same (workload, seed)-derived seed by design, so the
     // generated+relabeled graph is identical and shareable.
-    const GraphBuildCache::Key key{params.num_vertices,
-                                   params.num_edges, seed, weighted};
+    const GraphStreamConfig &stream_cfg = graphStreamConfig();
+    const bool streamed =
+        params.num_edges >= stream_cfg.stream_threshold_edges;
+    const GraphBuildCache::Key key{
+        params.num_vertices,
+        params.num_edges,
+        seed,
+        weighted,
+        streamed,
+        streamed ? stream_cfg.edges_per_block : 0};
     graph_ = GraphBuildCache::instance().getOrBuild(
-        key, [&] { return buildRelabeledRmat(params, weighted); });
+        key, [&] { return buildRelabeledRmat(params, streamed); });
 
     d_row_ = DeviceArray<std::uint64_t>(
         alloc_, graph_->numVertices() + 1, "row_offsets");

@@ -24,8 +24,10 @@
 namespace bauvm
 {
 
-/** Problem-size presets for workload construction. */
-enum class WorkloadScale { Tiny, Small, Medium, Large };
+/** Problem-size presets for workload construction. Huge is the
+ *  paper-scale oversubscription tier (349 MB+ graph footprints, built
+ *  out of core via src/graph/stream). */
+enum class WorkloadScale { Tiny, Small, Medium, Large, Huge };
 
 /** A runnable workload: build -> (nextKernel, run)* -> validate. */
 class Workload

@@ -26,6 +26,12 @@ std::unique_ptr<Workload> makePageRankWorkload();
 /** @param name one of CFD, DWT, GM, H3D, HS, LUD. */
 std::unique_ptr<Workload> makeRegularWorkload(const std::string &name);
 
+// The frontier-phase suite (src/workloads/frontier/).
+std::unique_ptr<Workload> makeHybridBfsWorkload();
+std::unique_ptr<Workload> makeComponentsWorkload();
+std::unique_ptr<Workload> makeTriangleCountWorkload();
+std::unique_ptr<Workload> makeKtrussWorkload();
+
 } // namespace bauvm
 
 #endif // BAUVM_WORKLOADS_WORKLOAD_FACTORIES_H_

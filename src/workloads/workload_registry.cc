@@ -6,6 +6,20 @@
 namespace bauvm
 {
 
+const char *
+kindName(WorkloadKind kind)
+{
+    switch (kind) {
+      case WorkloadKind::Irregular:
+        return "irregular";
+      case WorkloadKind::Regular:
+        return "regular";
+      case WorkloadKind::Frontier:
+        return "frontier";
+    }
+    fatal("kindName: bad workload kind");
+}
+
 WorkloadRegistry &
 WorkloadRegistry::instance()
 {
@@ -37,6 +51,17 @@ WorkloadRegistry::WorkloadRegistry()
         add(n, WorkloadKind::Regular,
             [n] { return makeRegularWorkload(n); });
     }
+
+    // The frontier-phase suite: traversal intensity and footprint
+    // shift with the frontier, not with a fixed iteration schedule.
+    add("BFS-HYB", WorkloadKind::Frontier,
+        [] { return makeHybridBfsWorkload(); });
+    add("CC", WorkloadKind::Frontier,
+        [] { return makeComponentsWorkload(); });
+    add("TC", WorkloadKind::Frontier,
+        [] { return makeTriangleCountWorkload(); });
+    add("KTRUSS", WorkloadKind::Frontier,
+        [] { return makeKtrussWorkload(); });
 }
 
 void
@@ -56,11 +81,16 @@ WorkloadRegistry::create(const std::string &name) const
 {
     const auto it = index_.find(name);
     if (it == index_.end()) {
+        // Tag each candidate with its family so a --workload typo
+        // shows which suite the near-misses belong to.
         std::string known;
-        for (const Entry &e : entries_) {
+        for (const std::string &n : enumerate()) {
             if (!known.empty())
                 known += ", ";
-            known += e.name;
+            known += n;
+            known += " (";
+            known += kindName(entries_[index_.at(n)].kind);
+            known += ")";
         }
         fatal("WorkloadRegistry: unknown workload '%s' (known: %s)",
               name.c_str(), known.c_str());

@@ -24,9 +24,14 @@
 namespace bauvm
 {
 
-/** Workload family: the paper's irregular GraphBIG selection vs the
- *  regular Rodinia-style contrast suite of Fig 1. */
-enum class WorkloadKind { Irregular, Regular };
+/** Workload family: the paper's irregular GraphBIG selection, the
+ *  regular Rodinia-style contrast suite of Fig 1, and the frontier-
+ *  phase graph suite (direction-optimizing BFS, TC, k-truss, CC)
+ *  whose per-kernel access pattern depends on the evolving frontier. */
+enum class WorkloadKind { Irregular, Regular, Frontier };
+
+/** Lower-case family tag ("irregular" | "regular" | "frontier"). */
+const char *kindName(WorkloadKind kind);
 
 /**
  * Process-wide catalogue of instantiable workloads.

@@ -640,9 +640,12 @@ TEST(WorkloadRegistryApi, EnumerateMatchesLegacyLists)
               irregularWorkloadNames());
     EXPECT_EQ(reg.enumerate(WorkloadKind::Regular),
               regularWorkloadNames());
+    const std::vector<std::string> frontier = {"BFS-HYB", "CC", "TC",
+                                               "KTRUSS"};
+    EXPECT_EQ(reg.enumerate(WorkloadKind::Frontier), frontier);
     EXPECT_EQ(reg.enumerate().size(),
               irregularWorkloadNames().size() +
-                  regularWorkloadNames().size());
+                  regularWorkloadNames().size() + frontier.size());
 }
 
 TEST(WorkloadRegistryApi, CreateProducesTheNamedWorkload)
@@ -665,6 +668,11 @@ TEST(WorkloadRegistryApi, UnknownNameFailsListingKnownNames)
         const std::string msg = e.what();
         EXPECT_NE(msg.find("NOPE"), std::string::npos);
         EXPECT_NE(msg.find("BFS-TWC"), std::string::npos);
+        // Known names carry their family tag for discoverability.
+        EXPECT_NE(msg.find("(irregular)"), std::string::npos);
+        EXPECT_NE(msg.find("(regular)"), std::string::npos);
+        EXPECT_NE(msg.find("(frontier)"), std::string::npos);
+        EXPECT_NE(msg.find("BFS-HYB"), std::string::npos);
     }
 }
 

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Frontier workload family: registry wiring, the host reference
+ * algorithms behind TC / KTRUSS / CC on hand-checked graphs, and the
+ * direction-optimizing BFS actually exercising both of its phases.
+ * (The generic converge-and-validate coverage lives in
+ * test_workloads_functional.cc, parameterized over the registry.)
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/graph/csr_graph.h"
+#include "src/graph/reference_algorithms.h"
+#include "src/workloads/workload.h"
+#include "src/workloads/workload_registry.h"
+
+namespace bauvm
+{
+namespace
+{
+
+/** Undirected graph from one-direction edge pairs. */
+CsrGraph
+undirected(VertexId n,
+           const std::vector<std::pair<VertexId, VertexId>> &edges)
+{
+    std::vector<std::pair<VertexId, VertexId>> both;
+    for (const auto &[u, v] : edges) {
+        both.emplace_back(u, v);
+        both.emplace_back(v, u);
+    }
+    return CsrGraph::fromEdges(n, both);
+}
+
+/** K4 on {0..3} plus a pendant vertex 4 hanging off vertex 0. */
+CsrGraph
+k4WithPendant()
+{
+    return undirected(5, {{0, 1},
+                          {0, 2},
+                          {0, 3},
+                          {1, 2},
+                          {1, 3},
+                          {2, 3},
+                          {0, 4}});
+}
+
+/** Like runFunctional() but records each kernel's name. */
+std::vector<std::string>
+runCollectingKernelNames(Workload &workload)
+{
+    std::vector<std::string> names;
+    KernelInfo kernel;
+    while (workload.nextKernel(&kernel)) {
+        names.push_back(kernel.name);
+        const std::uint32_t warps_per_block = kernel.warpsPerBlock(32);
+        for (std::uint32_t b = 0; b < kernel.num_blocks; ++b) {
+            std::vector<WarpProgram> warps;
+            std::vector<bool> alive(warps_per_block, true);
+            warps.reserve(warps_per_block);
+            for (std::uint32_t w = 0; w < warps_per_block; ++w) {
+                WarpCtx ctx;
+                ctx.block_id = b;
+                ctx.warp_in_block = w;
+                ctx.warp_size = 32;
+                ctx.threads_per_block = kernel.threads_per_block;
+                ctx.num_blocks = kernel.num_blocks;
+                warps.push_back(kernel.make_program(ctx));
+            }
+            bool progress = true;
+            while (progress) {
+                progress = false;
+                for (std::uint32_t w = 0; w < warps_per_block; ++w) {
+                    if (alive[w] && warps[w].advance())
+                        progress = true;
+                    else
+                        alive[w] = false;
+                }
+            }
+        }
+    }
+    return names;
+}
+
+// ---- registry wiring ------------------------------------------------
+
+TEST(FrontierRegistry, FamilyIsRegisteredInOrder)
+{
+    WorkloadRegistry &reg = WorkloadRegistry::instance();
+    const std::vector<std::string> expected = {"BFS-HYB", "CC", "TC",
+                                               "KTRUSS"};
+    EXPECT_EQ(reg.enumerate(WorkloadKind::Frontier), expected);
+    EXPECT_EQ(std::string(kindName(WorkloadKind::Frontier)), "frontier");
+    for (const auto &name : expected) {
+        ASSERT_TRUE(reg.contains(name));
+        EXPECT_EQ(reg.create(name)->name(), name);
+    }
+}
+
+// ---- reference algorithms -------------------------------------------
+
+TEST(FrontierReference, ForwardAdjacencyOrientsTowardSmallerIds)
+{
+    const reference::ForwardAdjacency fwd =
+        reference::buildForwardAdjacency(k4WithPendant());
+    // fwd(v) = sorted unique neighbours with smaller id.
+    const std::vector<std::uint64_t> row = {0, 0, 1, 3, 6, 7};
+    const std::vector<VertexId> col = {0, 0, 1, 0, 1, 2, 0};
+    EXPECT_EQ(fwd.row, row);
+    EXPECT_EQ(fwd.col, col);
+}
+
+TEST(FrontierReference, TriangleCountsOnK4)
+{
+    // K4 has 4 triangles; each is counted at its largest vertex:
+    // (0,1,2) at 2 and (0,1,3), (0,2,3), (1,2,3) at 3. The pendant
+    // vertex closes nothing.
+    const auto counts = reference::triangleCounts(k4WithPendant());
+    const std::vector<std::uint64_t> expected = {0, 0, 1, 3, 0};
+    EXPECT_EQ(counts, expected);
+}
+
+TEST(FrontierReference, KtrussPeelsThePendantEdge)
+{
+    // Every K4 edge closes 2 triangles (support 2 >= k - 2 for k = 4);
+    // the pendant edge closes none and is peeled in round one.
+    const auto alive =
+        reference::ktrussAliveEdges(k4WithPendant(), /*k=*/4);
+    const std::vector<std::uint8_t> expected = {1, 1, 1, 1, 1, 1, 0};
+    EXPECT_EQ(alive, expected);
+}
+
+TEST(FrontierReference, KtrussCascadesToEmptyWhenKTooLarge)
+{
+    // k = 5 needs support 3; K4 offers 2, so the first removal wave
+    // takes the whole clique with it.
+    const auto alive =
+        reference::ktrussAliveEdges(k4WithPendant(), /*k=*/5);
+    for (std::size_t e = 0; e < alive.size(); ++e)
+        EXPECT_EQ(alive[e], 0u) << "edge " << e;
+}
+
+TEST(FrontierReference, ComponentLabelsAreComponentMinima)
+{
+    // Path 0-1-2, isolated 3, pair 4-5.
+    const CsrGraph g = undirected(6, {{0, 1}, {1, 2}, {4, 5}});
+    const auto labels = reference::componentLabels(g);
+    const std::vector<std::uint32_t> expected = {0, 0, 0, 3, 4, 4};
+    EXPECT_EQ(labels, expected);
+}
+
+// ---- direction-optimizing BFS ---------------------------------------
+
+TEST(HybridBfs, RunsBothDirectionsAndValidates)
+{
+    auto workload = makeWorkload("BFS-HYB");
+    workload->build(WorkloadScale::Tiny, /*seed=*/1);
+    const std::vector<std::string> names =
+        runCollectingKernelNames(*workload);
+    workload->validate();
+
+    // The R-MAT frontier explodes off the hub (top-down -> bottom-up)
+    // and dribbles out through the tail (back to top-down); a run that
+    // never switches is a broken heuristic, not a different schedule.
+    bool saw_td = false, saw_bu = false;
+    for (const auto &n : names) {
+        saw_td |= n.find("-td-") != std::string::npos;
+        saw_bu |= n.find("-bu-") != std::string::npos;
+    }
+    EXPECT_TRUE(saw_td) << "no top-down level ran";
+    EXPECT_TRUE(saw_bu) << "no bottom-up level ran";
+}
+
+TEST(FrontierWorkloads, KernelNamesCarryPhaseAndRound)
+{
+    auto cc = makeWorkload("CC");
+    cc->build(WorkloadScale::Tiny, /*seed=*/1);
+    const auto cc_names = runCollectingKernelNames(*cc);
+    ASSERT_GE(cc_names.size(), 2u) << "CC must take multiple rounds";
+    EXPECT_EQ(cc_names[0], "CC-round0");
+
+    auto kt = makeWorkload("KTRUSS");
+    kt->build(WorkloadScale::Tiny, /*seed=*/1);
+    const auto kt_names = runCollectingKernelNames(*kt);
+    ASSERT_GE(kt_names.size(), 2u);
+    EXPECT_EQ(kt_names[0], "KTRUSS-support-r0");
+    EXPECT_EQ(kt_names[1], "KTRUSS-filter-r0");
+
+    auto tc = makeWorkload("TC");
+    tc->build(WorkloadScale::Tiny, /*seed=*/1);
+    const auto tc_names = runCollectingKernelNames(*tc);
+    const std::vector<std::string> tc_expected = {"TC-count"};
+    EXPECT_EQ(tc_names, tc_expected);
+}
+
+} // namespace
+} // namespace bauvm

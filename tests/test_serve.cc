@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/core/presets.h"
+#include "src/graph/stream/csr_stream_builder.h"
 #include "src/runner/cell_spec.h"
 #include "src/runner/job.h"
 #include "src/runner/sweep_result.h"
@@ -512,6 +513,48 @@ TEST(SweepRequestParse, DefaultsAndGroupExpansion)
     ASSERT_EQ(req.variants.size(), 1u);
     EXPECT_EQ(req.variants[0].label, "");
     EXPECT_EQ(req.jobs, 1u);
+}
+
+TEST(SweepRequestParse, FrontierGroupExpandsToTheFamily)
+{
+    const JsonValue doc = parseOrDie(
+        "{\"schema\": \"bauvm.sweep-request/1\","
+        " \"workloads\": [\"@frontier\"], \"scale\": \"tiny\"}");
+    SweepRequest req;
+    std::string error;
+    ASSERT_TRUE(parseSweepRequest(doc, &req, &error)) << error;
+    const std::vector<std::string> expected = {"BFS-HYB", "CC", "TC",
+                                               "KTRUSS"};
+    EXPECT_EQ(req.workloads, expected);
+}
+
+TEST(CellKeyStreamParams, StreamConfigReKeysTheCell)
+{
+    // The graph-stream policy lives outside SimConfig, so cellKey()
+    // carries it in its own lane: changing any stream parameter must
+    // change the content address (cache miss), and restoring it must
+    // restore the address (cache replay).
+    const SimConfig config = paperConfig(0.5, 1);
+    const GraphStreamConfig saved = graphStreamConfig();
+    const std::string base =
+        cellKey("BFS-HYB", WorkloadScale::Tiny, config, "rev");
+
+    graphStreamConfig().stream_threshold_edges = 1;
+    const std::string threshold =
+        cellKey("BFS-HYB", WorkloadScale::Tiny, config, "rev");
+    EXPECT_NE(threshold, base);
+
+    graphStreamConfig() = saved;
+    graphStreamConfig().edges_per_block /= 2;
+    const std::string block =
+        cellKey("BFS-HYB", WorkloadScale::Tiny, config, "rev");
+    EXPECT_NE(block, base);
+    EXPECT_NE(block, threshold);
+
+    graphStreamConfig() = saved;
+    EXPECT_EQ(cellKey("BFS-HYB", WorkloadScale::Tiny, config, "rev"),
+              base);
+    EXPECT_EQ(digestHex(base).size(), 32u);
 }
 
 TEST(SweepRequestParse, RejectsInvalidDocuments)

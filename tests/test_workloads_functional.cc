@@ -11,6 +11,7 @@
 #include <set>
 
 #include "src/workloads/workload.h"
+#include "src/workloads/workload_registry.h"
 
 namespace bauvm
 {
@@ -81,6 +82,9 @@ allWorkloadNames()
     std::vector<std::string> names = irregularWorkloadNames();
     for (const auto &r : regularWorkloadNames())
         names.push_back(r);
+    for (const auto &f : WorkloadRegistry::instance().enumerate(
+             WorkloadKind::Frontier))
+        names.push_back(f);
     return names;
 }
 
