@@ -12,6 +12,7 @@
 
 #include "src/core/experiment.h"
 #include "src/core/report.h"
+#include "src/workloads/workload_registry.h"
 
 int
 main(int argc, char **argv)
@@ -24,7 +25,7 @@ main(int argc, char **argv)
              "ideal/global", "switches"});
 
     std::vector<double> rel;
-    for (const auto &name : irregularWorkloadNames()) {
+    for (const auto &name : WorkloadRegistry::instance().enumerate(WorkloadKind::Irregular)) {
         std::fprintf(stderr, "  running %s ...\n", name.c_str());
         SimConfig global_cfg =
             applyPolicy(paperConfig(opt.ratio, opt.seed), Policy::ToUe);

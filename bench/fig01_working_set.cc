@@ -23,6 +23,7 @@
 #include "src/core/experiment.h"
 #include "src/core/report.h"
 #include "src/workloads/workload.h"
+#include "src/workloads/workload_registry.h"
 
 namespace
 {
@@ -37,7 +38,7 @@ std::vector<double>
 workingSetCurve(const std::string &name, WorkloadScale scale,
                 std::uint64_t seed)
 {
-    auto workload = makeWorkload(name);
+    auto workload = WorkloadRegistry::instance().create(name);
     workload->build(scale, seed);
 
     // Collect page sets per block, functionally (no timing model).
@@ -115,7 +116,7 @@ main(int argc, char **argv)
 
     printGroup("Figure 1 (top): working set vs active SMs, regular "
                "workloads",
-               regularWorkloadNames(), opt.scale, opt.seed, opt.csv);
+               WorkloadRegistry::instance().enumerate(WorkloadKind::Regular), opt.scale, opt.seed, opt.csv);
 
     const std::vector<std::string> irregular = {
         "BC", "BFS-TTC", "GC-DTC", "KCORE", "PR", "SSSP-TWC",

@@ -16,6 +16,7 @@
 
 #include "src/core/experiment.h"
 #include "src/core/report.h"
+#include "src/workloads/workload_registry.h"
 
 int
 main(int argc, char **argv)
@@ -29,7 +30,7 @@ main(int argc, char **argv)
              "relative perf", "switches"});
 
     std::vector<double> rels;
-    for (const auto &name : irregularWorkloadNames()) {
+    for (const auto &name : WorkloadRegistry::instance().enumerate(WorkloadKind::Irregular)) {
         SimConfig base = paperConfig(/*ratio=*/0.0, opt.seed);
         base.uvm.preload = true;
 

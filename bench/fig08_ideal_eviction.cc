@@ -13,6 +13,7 @@
 
 #include "src/core/experiment.h"
 #include "src/core/report.h"
+#include "src/workloads/workload_registry.h"
 
 int
 main(int argc, char **argv)
@@ -25,7 +26,7 @@ main(int argc, char **argv)
     Table t({"workload", "BASELINE", "IDEAL EVICTION"});
 
     std::vector<double> base_rel, ideal_rel;
-    for (const auto &name : irregularWorkloadNames()) {
+    for (const auto &name : WorkloadRegistry::instance().enumerate(WorkloadKind::Irregular)) {
         std::fprintf(stderr, "  running %s ...\n", name.c_str());
         const RunResult unlimited =
             runCell(name, Policy::Unlimited, opt);

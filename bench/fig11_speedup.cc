@@ -20,6 +20,7 @@
 #include "src/core/experiment.h"
 #include "src/core/report.h"
 #include "src/runner/sweep_runner.h"
+#include "src/workloads/workload_registry.h"
 
 int
 main(int argc, char **argv)
@@ -29,9 +30,9 @@ main(int argc, char **argv)
 
     SweepSpec spec;
     spec.bench = "fig11_speedup";
-    spec.workloads = irregularWorkloadNames();
-    if (!opt.workloads.empty())
-        spec.workloads = opt.workloads; // e.g. the frontier family
+    spec.workloads = opt.workloadsOr( // --workloads: e.g. frontier
+        WorkloadRegistry::instance().enumerate(
+            WorkloadKind::Irregular));
     spec.policies = allPolicies();
     spec.opt = opt;
 

@@ -11,6 +11,7 @@
 
 #include "src/core/experiment.h"
 #include "src/core/report.h"
+#include "src/workloads/workload_registry.h"
 
 int
 main(int argc, char **argv)
@@ -22,7 +23,7 @@ main(int argc, char **argv)
     Table t({"workload", "BASELINE", "TO", "TO evictions",
              "TO ctx switches"});
 
-    for (const auto &name : irregularWorkloadNames()) {
+    for (const auto &name : WorkloadRegistry::instance().enumerate(WorkloadKind::Irregular)) {
         std::fprintf(stderr, "  running %s ...\n", name.c_str());
         const RunResult rb = runCell(name, Policy::Baseline, opt);
         const RunResult rt = runCell(name, Policy::To, opt);

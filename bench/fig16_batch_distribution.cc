@@ -12,6 +12,7 @@
 
 #include "src/core/experiment.h"
 #include "src/core/report.h"
+#include "src/workloads/workload_registry.h"
 
 namespace
 {
@@ -63,7 +64,7 @@ main(int argc, char **argv)
     constexpr std::size_t kBuckets = 13;
     constexpr std::uint32_t kBucketPages = 8; // 0.5 MB per bucket
 
-    const auto &workloads = irregularWorkloadNames();
+    const auto &workloads = WorkloadRegistry::instance().enumerate(WorkloadKind::Irregular);
     const Dist base = distribution(workloads, Policy::Baseline, opt,
                                    kBuckets, kBucketPages);
     const Dist to =

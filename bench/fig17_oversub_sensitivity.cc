@@ -38,11 +38,9 @@ main(int argc, char **argv)
     // policies x workloads); --workloads overrides it.
     SweepSpec spec;
     spec.bench = "fig17_oversub_sensitivity";
-    spec.workloads = {
+    spec.workloads = opt.workloadsOr({
         "BFS-TTC", "BFS-TWC", "PR", "SSSP-TWC", "GC-DTC",
-    };
-    if (!opt.workloads.empty())
-        spec.workloads = opt.workloads;
+    });
     spec.policies = {Policy::Baseline, Policy::Ue};
     std::vector<double> ratios;
     for (int step = 10; step >= 1; --step) {

@@ -30,10 +30,9 @@ main(int argc, char **argv)
 
     SweepSpec spec;
     spec.bench = "frontier_suite";
-    spec.workloads =
-        WorkloadRegistry::instance().enumerate(WorkloadKind::Frontier);
-    if (!opt.workloads.empty())
-        spec.workloads = opt.workloads;
+    spec.workloads = opt.workloadsOr(
+        WorkloadRegistry::instance().enumerate(
+            WorkloadKind::Frontier));
     spec.policies = allPolicies();
     spec.opt = opt;
 

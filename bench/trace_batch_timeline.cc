@@ -22,6 +22,7 @@
 #include "src/core/report.h"
 #include "src/runner/job.h"
 #include "src/trace/trace_export.h"
+#include "src/workloads/workload_registry.h"
 
 namespace
 {
@@ -157,7 +158,7 @@ main(int argc, char **argv)
         config = applyPolicy(config, policy);
         config.trace.enabled = true;
 
-        auto wl = makeWorkload(workload);
+        auto wl = WorkloadRegistry::instance().create(workload);
         GpuUvmSystem system(config);
 
         PolicyTimeline tl;

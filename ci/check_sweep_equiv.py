@@ -13,6 +13,13 @@ worker identity, and cache attribution.  Everything else, including
 every simulated counter, seed, digest, and the cell order, must be
 identical.  Exits 1 with a field-level diff on the first mismatch:
 unlike the perf smoke, this is a correctness gate.
+
+bauvm.sweep/1.3 multi-tenant cells carry a per-tenant result array
+(result.tenants); every field in it is deterministic, so the generic
+diff covers it with no special casing.  As a structural sanity check
+we additionally require tenant ids to be 0..n-1 in order — a
+mis-merged shard that reordered or dropped a tenant would corrupt
+that before it corrupted any counter.
 """
 
 import json
@@ -66,6 +73,18 @@ def diff(ref, other, path=""):
         yield f"{path}: {ref!r} vs {other!r}"
 
 
+def check_tenant_ids(doc, path):
+    """Yields complaints for tenant arrays whose ids aren't 0..n-1."""
+    for i, cell in enumerate(doc.get("cells", [])):
+        tenants = (cell.get("result") or {}).get("tenants")
+        if tenants is None:
+            continue
+        ids = [t.get("id") for t in tenants]
+        if ids != list(range(len(ids))):
+            yield (f"{path}: cells[{i}].result.tenants ids {ids} "
+                   f"are not 0..{len(ids) - 1} in order")
+
+
 def main():
     if len(sys.argv) < 3:
         print(__doc__.strip().splitlines()[2])
@@ -77,12 +96,18 @@ def main():
         print(f"check_sweep_equiv: {ref_path} is not a bauvm.sweep/1 "
               "document")
         return 1
+    bad_ids = list(check_tenant_ids(ref, ref_path))
+    if bad_ids:
+        for m in bad_ids:
+            print(f"check_sweep_equiv: {m}")
+        return 1
 
     failed = 0
     for path in sys.argv[2:]:
         with open(path) as f:
             cand = strip(json.load(f))
-        mismatches = list(diff(ref, cand))
+        mismatches = list(check_tenant_ids(cand, path))
+        mismatches += list(diff(ref, cand))
         if mismatches:
             failed += 1
             print(f"check_sweep_equiv: {path} differs from {ref_path} "

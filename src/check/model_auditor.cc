@@ -142,7 +142,15 @@ ModelAuditor::onCapacitySet(std::uint64_t capacity_pages)
 }
 
 void
-ModelAuditor::onFrameReserved(std::uint64_t observed_committed)
+ModelAuditor::setTenantDirectory(const TenantDirectory *dir)
+{
+    dir_ = dir;
+    committed_by_.assign(dir ? dir->size() : 0, 0);
+}
+
+void
+ModelAuditor::onFrameReserved(std::uint64_t observed_committed,
+                              TenantId tenant)
 {
     if (capacity_pages_ != 0) {
         ++committed_;
@@ -158,6 +166,26 @@ ModelAuditor::onFrameReserved(std::uint64_t observed_committed)
                  committed_),
           format("manager reports %" PRIu64 " committed frames",
                  observed_committed));
+    if (dir_ && tenant != kNoTenant) {
+        ++committed_by_[tenant];
+        if (dir_->policy() == SharePolicy::StrictQuota) {
+            const std::uint64_t quota =
+                dir_->context(tenant).quota_pages;
+            check(committed_by_[tenant] <= quota, "tenant-quota",
+                  tenant,
+                  format("tenant %u committed frames <= quota %" PRIu64,
+                         static_cast<unsigned>(tenant), quota),
+                  format("reservation raised tenant frames to %" PRIu64,
+                         committed_by_[tenant]));
+        }
+        std::uint64_t sum = 0;
+        for (std::uint64_t c : committed_by_)
+            sum += c;
+        check(sum <= committed_, "tenant-occupancy", tenant,
+              format("per-tenant frames sum <= global %" PRIu64,
+                     committed_),
+              format("tenant frames sum to %" PRIu64, sum));
+    }
 }
 
 void
@@ -190,6 +218,11 @@ ModelAuditor::onPageCommitted(PageNum vpn, Cycle now,
     --in_flight_h2d_;
     ++resident_count_;
     ++commits_;
+    if (dir_) {
+        check(dir_->tenantOf(vpn) != kNoTenant, "tenant-slice", vpn,
+              "committed page inside a registered tenant VA slice",
+              "page outside every tenant slice");
+    }
     check(observed_committed == committed_, "occupancy-conservation",
           vpn,
           format("manager status tracker == shadow %" PRIu64,
@@ -237,6 +270,16 @@ ModelAuditor::onEvictionComplete(PageNum vpn,
     p.in_d2h = false;
     --in_flight_d2h_;
     compact(vpn);
+    if (dir_) {
+        const TenantId owner = dir_->tenantOf(vpn);
+        if (owner != kNoTenant) {
+            check(committed_by_[owner] > 0, "tenant-occupancy", vpn,
+                  format("tenant %u holds a frame to release",
+                         static_cast<unsigned>(owner)),
+                  "eviction completion with zero tenant frames");
+            --committed_by_[owner];
+        }
+    }
     if (capacity_pages_ != 0) {
         check(committed_ > 0, "occupancy-conservation", vpn,
               "a committed frame to release",

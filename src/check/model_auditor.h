@@ -55,6 +55,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/mem/tenant_directory.h"
 #include "src/sim/config.h"
 #include "src/sim/types.h"
 
@@ -83,13 +84,25 @@ class ModelAuditor
     /** Labels diagnostics with the cell being audited ("BFS-TWC"). */
     void setContext(std::string context);
 
+    /**
+     * Registers the run's tenant directory (multi-tenant runs only):
+     * the auditor then shadows per-tenant frame accounting and asserts
+     * the quota invariants — a StrictQuota tenant never exceeds its
+     * cap, the per-tenant counters always sum to the global committed
+     * count, and every committed page lies inside its owner's VA
+     * slice.
+     */
+    void setTenantDirectory(const TenantDirectory *dir);
+
     // ---- GpuMemoryManager sites -------------------------------------
 
     /** Device capacity changed (0 = unlimited). */
     void onCapacitySet(std::uint64_t capacity_pages);
 
-    /** A frame was reserved for an inbound transfer. */
-    void onFrameReserved(std::uint64_t observed_committed);
+    /** A frame was reserved for an inbound transfer, charged to
+     *  @p tenant (kNoTenant outside multi-tenant runs). */
+    void onFrameReserved(std::uint64_t observed_committed,
+                         TenantId tenant = kNoTenant);
 
     /**
      * Preload commit path (traditional-GPU mode): @p vpn will be
@@ -236,6 +249,8 @@ class ModelAuditor
     std::size_t in_flight_d2h_ = 0;
     std::uint64_t capacity_pages_ = 0; //!< 0 = unlimited
     std::uint64_t committed_ = 0;
+    const TenantDirectory *dir_ = nullptr;
+    std::vector<std::uint64_t> committed_by_; //!< per-tenant shadow
     std::uint64_t commits_ = 0;
     std::uint64_t evictions_ = 0;
 

@@ -37,10 +37,23 @@ printBenchUsage(std::FILE *out)
         "               addressed on-disk cache and load them on the\n"
         "               next run (default dir: .bauvm-cells)\n"
         "  --workloads A,B,C  restrict the bench to a comma-separated\n"
-        "               workload subset (names from the registry)\n");
+        "               workload subset (names from the registry)\n"
+        "  --tenants A:0.5,B:0.5  run every cell as a concurrent\n"
+        "               multi-tenant mix (workload:quota pairs; a\n"
+        "               missing quota means an equal share)\n"
+        "  --share-policy free-for-all|strict|proportional  how\n"
+        "               tenants share device memory (default\n"
+        "               free-for-all)\n");
 }
 
 } // namespace
+
+void
+BenchOptions::applyTo(SimConfig &config) const
+{
+    config.check.enabled = audit;
+    config.mt.policy = share_policy;
+}
 
 BenchOptions
 parseBenchArgs(int argc, char **argv)
@@ -126,6 +139,45 @@ parseBenchArgs(int argc, char **argv)
             }
             if (opt.workloads.empty())
                 fatal("--workloads: empty workload list");
+        } else if (arg == "--tenants") {
+            const std::string list = next("--tenants");
+            std::size_t start = 0;
+            while (start <= list.size()) {
+                const std::size_t comma = list.find(',', start);
+                const std::string item = list.substr(
+                    start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+                if (!item.empty()) {
+                    TenantSpec t;
+                    const std::size_t colon = item.find(':');
+                    t.workload = item.substr(0, colon);
+                    if (colon != std::string::npos) {
+                        try {
+                            t.quota = std::stod(item.substr(colon + 1));
+                        } catch (const std::exception &) {
+                            fatal("--tenants: invalid quota in '%s'",
+                                  item.c_str());
+                        }
+                        if (t.quota < 0.0)
+                            fatal("--tenants: negative quota in '%s'",
+                                  item.c_str());
+                    }
+                    if (!WorkloadRegistry::instance().contains(
+                            t.workload)) {
+                        fatal("--tenants: unknown workload '%s'",
+                              t.workload.c_str());
+                    }
+                    opt.tenants.push_back(std::move(t));
+                }
+                if (comma == std::string::npos)
+                    break;
+                start = comma + 1;
+            }
+            if (opt.tenants.size() < 2)
+                fatal("--tenants: need at least two tenants");
+        } else if (arg == "--share-policy") {
+            opt.share_policy = sharePolicyFromName(
+                next("--share-policy"));
         } else if (arg == "--resume") {
             opt.resume_dir = ".bauvm-cells";
         } else if (arg.rfind("--resume=", 0) == 0) {
@@ -170,6 +222,7 @@ runCell(const std::string &workload, Policy policy,
     SimConfig config =
         paperConfig(opt.ratio, deriveWorkloadSeed(opt.seed, workload));
     config = applyPolicy(config, policy);
+    opt.applyTo(config);
     return runWorkload(config, workload, opt.scale);
 }
 

@@ -50,12 +50,35 @@ struct BenchOptions {
     /** Workload subset override (--workloads A,B,C, validated against
      *  the registry); empty = the bench's default set. */
     std::vector<std::string> workloads;
+    /** Tenant mix override (--tenants A:0.5,B:0.5); non-empty turns
+     *  every cell into a concurrent multi-tenant run. Entries carry
+     *  the workload name and quota; their scale is `scale`. */
+    std::vector<TenantSpec> tenants;
+    /** How tenants share device memory (--share-policy). */
+    SharePolicy share_policy = SharePolicy::FreeForAll;
+
+    /**
+     * Applies the options that live inside SimConfig — the audit
+     * flag (check.enabled) and the tenant share policy (mt.policy) —
+     * so every execution path (runCell, SweepRunner, benches) maps
+     * BenchOptions to the config the same way.
+     */
+    void applyTo(SimConfig &config) const;
+
+    /** `workloads` when --workloads was given, else @p defaults. */
+    std::vector<std::string>
+    workloadsOr(const std::vector<std::string> &defaults) const
+    {
+        return workloads.empty() ? defaults : workloads;
+    }
 };
 
 /**
  * Parses --scale tiny|small|medium|large|huge, --csv, --ratio R,
  * --seed N, --jobs N, --json PATH, --timeout S, --trace[=DIR],
- * --audit, --resume[=DIR], --workloads A,B,C.
+ * --audit, --resume[=DIR], --workloads A,B,C,
+ * --tenants A:0.5,B:0.5 and --share-policy
+ * free-for-all|strict|proportional.
  *
  * An unknown argument prints the usage text to stderr and exits with an
  * error (fatal(), so a ScopedAbortCapture turns it into SimAbort).

@@ -15,6 +15,7 @@
 
 #include "src/check/model_auditor.h"
 #include "src/check/sim_hooks.h"
+#include "src/core/tenant.h"
 #include "src/etc/etc_framework.h"
 #include "src/gpu/gpu.h"
 #include "src/mem/memory_hierarchy.h"
@@ -76,6 +77,10 @@ struct RunResult {
     std::uint64_t sim_events = 0;
     double host_wall_s = 0.0;
     double events_per_sec = 0.0;
+
+    // Multi-tenant runs only (schema bauvm.sweep/1.3): one entry per
+    // admitted tenant, in TenantId order. Empty for single-tenant runs.
+    std::vector<TenantResult> tenants;
 };
 
 /** A fully wired simulated system executing one workload. */
@@ -93,6 +98,29 @@ class GpuUvmSystem
      * callers can validate() afterwards.
      */
     RunResult run(Workload &workload, WorkloadScale scale);
+
+    /**
+     * Multi-tenant entry point: admits every spec as a tenant session —
+     * its own VA slice (aligned so no prefetch tree or eviction chunk
+     * spans tenants), per-tenant seed, an SM partition, and a frame
+     * budget arbitrated by config.mt.policy — then interleaves all
+     * tenants' fault streams into shared UVM batches on one event
+     * queue. Deterministic: the same config and specs reproduce the
+     * run bit-for-bit.
+     *
+     * Per-tenant statistics land in RunResult::tenants (slowdown is
+     * left 0; callers with a solo reference fill it in). Not
+     * compatible with ETC or preload mode. Each tenant's functional
+     * results stay in its workload (tenantWorkloads()) for validation.
+     */
+    RunResult run(const std::vector<TenantSpec> &specs);
+
+    /** The workloads admitted by the multi-tenant run(), in TenantId
+     *  order (empty before it runs). */
+    const std::vector<std::unique_ptr<Workload>> &tenantWorkloads() const
+    {
+        return tenant_workloads_;
+    }
 
     // Component access for tests and custom experiments.
     EventQueue &events() { return events_; }
@@ -123,6 +151,14 @@ class GpuUvmSystem
     UvmRuntime runtime_;
     std::unique_ptr<Gpu> gpu_;
     std::unique_ptr<EtcFramework> etc_;
+
+    // Multi-tenant state (populated by run(specs) only). Tenant GPUs
+    // and hierarchies share events_/manager_/runtime_ but partition
+    // the SMs; the directory maps every page to its owner.
+    std::unique_ptr<TenantDirectory> tenant_dir_;
+    std::vector<std::unique_ptr<Workload>> tenant_workloads_;
+    std::vector<std::unique_ptr<MemoryHierarchy>> tenant_hierarchies_;
+    std::vector<std::unique_ptr<Gpu>> tenant_gpus_;
 };
 
 /**
@@ -131,6 +167,15 @@ class GpuUvmSystem
  */
 RunResult runWorkload(const SimConfig &config, const std::string &name,
                       WorkloadScale scale, bool validate = false);
+
+/**
+ * Convenience wrapper around GpuUvmSystem::run(specs): admit every
+ * spec as a tenant, run the mix to completion, optionally validate
+ * every tenant's functional result.
+ */
+RunResult runTenantMix(const SimConfig &config,
+                       const std::vector<TenantSpec> &specs,
+                       bool validate = false);
 
 } // namespace bauvm
 

@@ -1,0 +1,62 @@
+#include "src/core/tenant.h"
+
+#include "src/sim/log.h"
+
+namespace bauvm
+{
+
+std::uint64_t
+deriveTenantSeed(std::uint64_t base_seed, std::uint32_t tenant_index)
+{
+    // splitmix64 finalizer, same diffusion scheme as runner/job.cc;
+    // the tenant index lands in the high half so small bases and small
+    // indices cannot collide before mixing.
+    std::uint64_t x = base_seed ^
+                      (0x9e3779b97f4a7c15ULL *
+                       (static_cast<std::uint64_t>(tenant_index) + 1));
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x ? x : 1;
+}
+
+std::string
+sharePolicyName(SharePolicy policy)
+{
+    switch (policy) {
+      case SharePolicy::FreeForAll:
+        return "free-for-all";
+      case SharePolicy::StrictQuota:
+        return "strict";
+      case SharePolicy::Proportional:
+        return "proportional";
+    }
+    fatal("sharePolicyName: bad policy");
+}
+
+SharePolicy
+sharePolicyFromName(const std::string &name)
+{
+    if (name == "free-for-all")
+        return SharePolicy::FreeForAll;
+    if (name == "strict")
+        return SharePolicy::StrictQuota;
+    if (name == "proportional")
+        return SharePolicy::Proportional;
+    fatal("sharePolicyFromName: unknown policy '%s'", name.c_str());
+}
+
+std::string
+tenantMixLabel(const std::vector<TenantSpec> &specs)
+{
+    std::string label;
+    for (const TenantSpec &spec : specs) {
+        if (!label.empty())
+            label += '+';
+        label += spec.workload;
+    }
+    return label;
+}
+
+} // namespace bauvm

@@ -7,7 +7,7 @@ namespace bauvm
 
 Gpu::Gpu(const SimConfig &config, EventQueue &events,
          MemoryHierarchy &hierarchy, UvmRuntime &runtime,
-         const SimHooks &hooks)
+         const SimHooks &hooks, std::uint32_t sm_track_base)
     : config_(config), events_(events), vtc_(config.to, sms_, hooks),
       dispatcher_(config.gpu, sms_, vtc_)
 {
@@ -15,6 +15,8 @@ Gpu::Gpu(const SimConfig &config, EventQueue &events,
         sms_.push_back(std::make_unique<Sm>(i, config.gpu, events,
                                             hierarchy, runtime, this,
                                             hooks));
+        if (sm_track_base != 0)
+            sms_.back()->setTraceTrack(traceTrackSm(sm_track_base + i));
         sms_.back()->setSwitchOnMemoryStall(
             config.to.switch_on_memory_stall);
     }
@@ -37,6 +39,13 @@ Gpu::runKernel(const KernelInfo &kernel)
               kernel.num_blocks);
     }
     return events_.now() - begin;
+}
+
+void
+Gpu::launchKernel(const KernelInfo *kernel,
+                  std::function<void()> on_done)
+{
+    dispatcher_.launch(kernel, std::move(on_done));
 }
 
 std::uint64_t

@@ -27,10 +27,13 @@ namespace bauvm
 class Gpu : public SmListener
 {
   public:
-    /** @param hooks observers, fanned out to every SM and the VTC. */
+    /** @param hooks observers, fanned out to every SM and the VTC.
+     *  @param sm_track_base first trace track for this GPU's SMs;
+     *  multi-tenant runs give each tenant GPU a disjoint range while
+     *  SM ids stay GPU-local (0 .. num_sms-1). */
     Gpu(const SimConfig &config, EventQueue &events,
         MemoryHierarchy &hierarchy, UvmRuntime &runtime,
-        const SimHooks &hooks = {});
+        const SimHooks &hooks = {}, std::uint32_t sm_track_base = 0);
     ~Gpu() override = default;
 
     /**
@@ -38,6 +41,18 @@ class Gpu : public SmListener
      * @return cycles elapsed during the kernel.
      */
     Cycle runKernel(const KernelInfo &kernel);
+
+    /**
+     * Starts @p kernel without draining the event queue. Multi-tenant
+     * runs drive several GPUs off one shared queue: each tenant chains
+     * its kernels from @p on_done while the others keep executing.
+     * @p kernel must outlive the launch; @p on_done fires when the
+     * kernel's last block retires (do not launch the next kernel
+     * directly from inside it — schedule a zero-delay event instead,
+     * the dispatcher is still finishing the old kernel).
+     */
+    void launchKernel(const KernelInfo *kernel,
+                      std::function<void()> on_done);
 
     VirtualThreadController &vtc() { return vtc_; }
     BlockDispatcher &dispatcher() { return dispatcher_; }

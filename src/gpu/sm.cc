@@ -11,7 +11,8 @@ namespace bauvm
 Sm::Sm(std::uint32_t id, const GpuConfig &config, EventQueue &events,
        MemoryHierarchy &hierarchy, UvmRuntime &runtime,
        SmListener *listener, const SimHooks &hooks)
-    : id_(id), config_(config), events_(events), hierarchy_(hierarchy),
+    : id_(id), track_(traceTrackSm(id)), config_(config),
+      events_(events), hierarchy_(hierarchy),
       runtime_(runtime), listener_(listener),
       coalescer_(128 /* L1 line */), hooks_(hooks)
 {
@@ -54,7 +55,7 @@ Sm::addBlock(const KernelInfo *kernel, std::uint32_t block_id,
     }
     if (hooks_.trace) {
         hooks_.trace->instant(TraceEventType::BlockDispatch,
-                              traceTrackSm(id_), events_.now(),
+                              track_, events_.now(),
                               block_id, active ? 1 : 0);
     }
     traceOccupancy();
@@ -74,7 +75,7 @@ Sm::activateBlock(std::uint32_t slot, Cycle delay)
     b.activating = true;
     if (hooks_.trace) {
         hooks_.trace->interval(TraceEventType::CtxSwitchIn,
-                               traceTrackSm(id_), events_.now(),
+                               track_, events_.now(),
                                events_.now() + delay, b.block_id, slot);
     }
     events_.scheduleAfter(delay, [this, slot] {
@@ -102,7 +103,7 @@ Sm::deactivateBlock(std::uint32_t slot)
     b.active = false;
     if (hooks_.trace) {
         hooks_.trace->instant(TraceEventType::CtxSwitchOut,
-                              traceTrackSm(id_), events_.now(),
+                              track_, events_.now(),
                               b.block_id, slot);
     }
     traceOccupancy();
@@ -345,7 +346,7 @@ Sm::execMemoryOp(std::uint32_t slot, std::uint32_t warp,
     for (PageNum vpn : fault_pages) {
         if (hooks_.trace) {
             hooks_.trace->instant(TraceEventType::PageFault,
-                                  traceTrackSm(id_), issue, vpn, warp);
+                                  track_, issue, vpn, warp);
         }
         runtime_.onPageFault(vpn, [this, slot, warp](Cycle) {
             onFaultResolved(slot, warp);
@@ -412,7 +413,7 @@ Sm::finishWarp(std::uint32_t slot, std::uint32_t warp)
         b.active = false;
         if (hooks_.trace) {
             hooks_.trace->instant(TraceEventType::BlockFinish,
-                                  traceTrackSm(id_), events_.now(),
+                                  track_, events_.now(),
                                   b.block_id, slot);
         }
         traceOccupancy();
@@ -447,7 +448,7 @@ Sm::traceOccupancy()
     if (!hooks_.trace)
         return;
     hooks_.trace->counter(TraceEventType::SmOccupancy,
-                          traceTrackSm(id_), events_.now(),
+                          track_, events_.now(),
                           activeBlocks(),
                           static_cast<std::uint32_t>(residentBlocks()));
 }

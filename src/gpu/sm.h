@@ -104,6 +104,13 @@ class Sm
 
     std::uint32_t id() const { return id_; }
 
+    /**
+     * Moves this SM's trace events onto track @p track. Multi-tenant
+     * runs give each tenant's GPU a disjoint track range (tenant i's
+     * SM j lands on i*num_sms+j) while SM ids stay GPU-local.
+     */
+    void setTraceTrack(TraceTrack track) { track_ = track; }
+
     /** Enables the Fig 5 mode: memory waits count as block stalls. */
     void setSwitchOnMemoryStall(bool on)
     {
@@ -176,6 +183,7 @@ class Sm
     void traceOccupancy();
 
     std::uint32_t id_;
+    TraceTrack track_;
     GpuConfig config_;
     EventQueue &events_;
     MemoryHierarchy &hierarchy_;

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * TenantDirectory: maps virtual pages to their owning tenant.
+ *
+ * Lives in src/mem (below uvm and check) so the GpuMemoryManager can
+ * arbitrate frames per tenant and the ModelAuditor can shadow the
+ * accounting without either depending on the core tenant-session API.
+ * core/tenant.h re-exports it together with the client-facing
+ * TenantSpec/TenantResult types.
+ *
+ * Built once per multi-tenant run from the admitted VA slices, which
+ * are chunk- and prefetch-tree-aligned and added in ascending order;
+ * tenantOf() is a short linear scan over at most a handful of slices,
+ * read on the fault and eviction hot paths.
+ */
+
+#ifndef BAUVM_MEM_TENANT_DIRECTORY_H_
+#define BAUVM_MEM_TENANT_DIRECTORY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/config.h"
+#include "src/sim/log.h"
+#include "src/sim/types.h"
+
+namespace bauvm
+{
+
+/** One admitted tenant: concrete VA slice, seed, and frame budget. */
+struct TenantContext {
+    TenantId id = kNoTenant;
+    std::string workload;
+    std::uint64_t seed = 0;      //!< deriveTenantSeed(config.seed, id)
+    PageNum first_vpn = 0;       //!< inclusive start of the VA slice
+    PageNum end_vpn = 0;         //!< exclusive end of the VA slice
+    std::uint64_t quota_pages = 0; //!< StrictQuota hard cap (frames)
+    double weight = 1.0;           //!< Proportional fair-share weight
+    std::uint64_t footprint_pages = 0;
+};
+
+/**
+ * Maps virtual pages to their owning tenant; also records the run's
+ * SharePolicy so every consumer arbitrates the same way.
+ */
+class TenantDirectory
+{
+  public:
+    explicit TenantDirectory(SharePolicy policy = SharePolicy::FreeForAll)
+        : policy_(policy)
+    {
+    }
+
+    SharePolicy policy() const { return policy_; }
+
+    /** Registers one tenant; slices must be added in ascending,
+     *  non-overlapping VA order. */
+    void
+    add(const TenantContext &context)
+    {
+        if (!contexts_.empty() &&
+            context.first_vpn < contexts_.back().end_vpn) {
+            fatal("TenantDirectory: slice [%llu,%llu) overlaps previous "
+                  "slice ending at %llu",
+                  static_cast<unsigned long long>(context.first_vpn),
+                  static_cast<unsigned long long>(context.end_vpn),
+                  static_cast<unsigned long long>(
+                      contexts_.back().end_vpn));
+        }
+        if (context.first_vpn >= context.end_vpn)
+            fatal("TenantDirectory: empty slice for tenant %u",
+                  static_cast<unsigned>(context.id));
+        contexts_.push_back(context);
+    }
+
+    /** Owning tenant of @p vpn, or kNoTenant outside every slice. */
+    TenantId
+    tenantOf(PageNum vpn) const
+    {
+        for (std::size_t i = 0; i < contexts_.size(); ++i) {
+            if (vpn < contexts_[i].end_vpn) {
+                return vpn >= contexts_[i].first_vpn
+                           ? static_cast<TenantId>(i)
+                           : kNoTenant;
+            }
+        }
+        return kNoTenant;
+    }
+
+    const TenantContext &context(TenantId id) const
+    {
+        return contexts_[id];
+    }
+
+    std::size_t size() const { return contexts_.size(); }
+
+  private:
+    SharePolicy policy_;
+    std::vector<TenantContext> contexts_; //!< index == TenantId
+};
+
+} // namespace bauvm
+
+#endif // BAUVM_MEM_TENANT_DIRECTORY_H_

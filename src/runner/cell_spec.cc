@@ -101,6 +101,13 @@ const Knob kKnobs[] = {
      [](SimConfig &c, double v) { c.mem.walker_threads = asU32(v); }},
     {"memory_ratio",
      [](SimConfig &c, double v) { c.memory_ratio = v; }},
+    {"mt.policy",
+     [](SimConfig &c, double v) {
+         if (v < 0.0 || v > 2.0)
+             fatal("mt.policy override must be 0 (free-for-all), "
+                   "1 (strict) or 2 (proportional)");
+         c.mt.policy = static_cast<SharePolicy>(asU32(v));
+     }},
     {"to.ctx_switch_bytes_per_cycle",
      [](SimConfig &c, double v) {
          c.to.ctx_switch_bytes_per_cycle = asU32(v);
@@ -382,6 +389,8 @@ canonicalConfigString(const SimConfig &c)
     // trace.buffer_records likewise only sizes the observer ring.
     appendKv(out, "check.enabled", c.check.enabled);
 
+    appendKv(out, "mt.policy",
+             static_cast<std::uint64_t>(c.mt.policy));
     appendKv(out, "memory_ratio", c.memory_ratio);
     appendKv(out, "seed", c.seed);
     return out;
@@ -389,15 +398,19 @@ canonicalConfigString(const SimConfig &c)
 
 std::string
 cellKey(const std::string &workload, WorkloadScale scale,
-        const SimConfig &config, const std::string &git_rev)
+        const SimConfig &config, const std::string &git_rev,
+        const std::vector<TenantSpec> &tenants)
 {
     // /2: the graph-stream parameters joined the key. Streamed and
     // in-core builds are differential-tested bit-identical, but the
     // stream config is still build provenance — folding it keeps the
     // result cache honest if that guarantee ever regresses, at the
     // cost of re-keying every cell when the config changes.
+    // /3: the tenant mix joined the key (and mt.policy joined the
+    // canonical config) — a multi-tenant cell can never alias the
+    // single-tenant cell that shares its label.
     const GraphStreamConfig &gs = graphStreamConfig();
-    std::string key = "bauvm.cell/2|";
+    std::string key = "bauvm.cell/3|";
     key += git_rev;
     key += '|';
     key += workload;
@@ -408,6 +421,17 @@ cellKey(const std::string &workload, WorkloadScale scale,
     appendKv(key, "stream.edges_per_block",
              static_cast<std::uint64_t>(gs.edges_per_block));
     appendKv(key, "stream.scratch_bytes", gs.scratch_bytes);
+    key += '|';
+    for (const TenantSpec &t : tenants) {
+        key += t.workload;
+        key += ':';
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.17g", t.quota);
+        key += buf;
+        key += ':';
+        key += scaleName(t.scale);
+        key += ';';
+    }
     key += '|';
     key += canonicalConfigString(config);
     return key;
@@ -467,7 +491,8 @@ executeCell(const CellExecArgs &args)
     out.job_seed = args.job_seed;
     out.digest = digestHex(
         cellKey(args.workload, args.scale, args.config,
-                args.git_rev.empty() ? gitRev() : args.git_rev));
+                args.git_rev.empty() ? gitRev() : args.git_rev,
+                args.tenants));
     out.worker_pid = static_cast<std::uint64_t>(getpid());
     out.hostname = hostName();
 
@@ -482,15 +507,51 @@ executeCell(const CellExecArgs &args)
         ScopedAbortCapture capture;
         SimConfig config = args.config;
         config.trace.enabled = tracing;
-        auto workload =
-            WorkloadRegistry::instance().create(args.workload);
-        system = std::make_unique<GpuUvmSystem>(config);
-        out.result = system->run(*workload, args.scale);
-        // --audit cells also check the functional result against the
-        // workload's host-side reference implementation; a mismatch
-        // panics and fails the cell like any model-invariant breach.
-        if (config.check.enabled)
-            workload->validate();
+        if (!args.tenants.empty()) {
+            // Anchor the slowdown: each tenant solo on the whole GPU,
+            // same ratio/policy/scale and the seed its mix build will
+            // use, so the two builds share the graph cache.
+            std::vector<Cycle> solo(args.tenants.size(), 0);
+            for (std::size_t i = 0; i < args.tenants.size(); ++i) {
+                SimConfig solo_config = config;
+                solo_config.seed =
+                    deriveTenantSeed(config.seed,
+                                     static_cast<std::uint32_t>(i));
+                solo_config.mt = MtConfig{};
+                solo_config.trace.enabled = false;
+                auto workload = WorkloadRegistry::instance().create(
+                    args.tenants[i].workload);
+                GpuUvmSystem solo_system(solo_config);
+                solo[i] =
+                    solo_system.run(*workload, args.tenants[i].scale)
+                        .cycles;
+            }
+            system = std::make_unique<GpuUvmSystem>(config);
+            out.result = system->run(args.tenants);
+            for (std::size_t i = 0; i < out.result.tenants.size();
+                 ++i) {
+                TenantResult &t = out.result.tenants[i];
+                t.slowdown = solo[i]
+                                 ? static_cast<double>(t.cycles) /
+                                       static_cast<double>(solo[i])
+                                 : 0.0;
+            }
+            if (config.check.enabled) {
+                for (const auto &workload : system->tenantWorkloads())
+                    workload->validate();
+            }
+        } else {
+            auto workload =
+                WorkloadRegistry::instance().create(args.workload);
+            system = std::make_unique<GpuUvmSystem>(config);
+            out.result = system->run(*workload, args.scale);
+            // --audit cells also check the functional result against
+            // the workload's host-side reference implementation; a
+            // mismatch panics and fails the cell like any
+            // model-invariant breach.
+            if (config.check.enabled)
+                workload->validate();
+        }
         out.ok = true;
     } catch (const SimAbort &e) {
         aborted = true;

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "src/core/presets.h"
+#include "src/core/tenant.h"
 #include "src/runner/job.h"
 #include "src/workloads/workload.h"
 
@@ -70,6 +71,11 @@ struct CellSpec {
     double ratio = 0.5;
     std::uint64_t base_seed = 1;
     bool audit = false;
+    /** Non-empty = a multi-tenant cell: the workloads run
+     *  concurrently on one GPU (see GpuUvmSystem::run(specs)) and
+     *  `workload` is only their display label. Each entry's scale is
+     *  expected to equal `scale`. */
+    std::vector<TenantSpec> tenants;
 };
 
 /**
@@ -90,15 +96,17 @@ std::string canonicalConfigString(const SimConfig &config);
 
 /**
  * The full content-address key of one cell:
- * "bauvm.cell/2|<git_rev>|<workload>|<scale>|<stream params>|
- * <canonical config>". The config embeds the seed and memory ratio,
- * so they need no separate lanes; the graph-stream parameters
- * (graphStreamConfig()) get their own lane because they live outside
- * SimConfig.
+ * "bauvm.cell/3|<git_rev>|<workload>|<scale>|<stream params>|
+ * <tenants>|<canonical config>". The config embeds the seed and
+ * memory ratio, so they need no separate lanes; the graph-stream
+ * parameters (graphStreamConfig()) get their own lane because they
+ * live outside SimConfig, and so does the tenant mix (workload,
+ * quota, scale per tenant — empty for single-tenant cells).
  */
 std::string cellKey(const std::string &workload, WorkloadScale scale,
                     const SimConfig &config,
-                    const std::string &git_rev);
+                    const std::string &git_rev,
+                    const std::vector<TenantSpec> &tenants = {});
 
 /** 128-bit (32 hex chars) digest of @p key: two independent FNV-1a
  *  lanes, each splitmix-finalized. */
@@ -130,6 +138,12 @@ struct CellExecArgs {
     std::string trace_stem;     //!< file stem inside trace_dir
     std::string trace_bench;    //!< TraceMeta.bench
     double trace_ratio = 0.0;   //!< TraceMeta.ratio
+
+    /** Non-empty = run a tenant mix instead of `workload`: each
+     *  tenant first runs solo (same ratio and policy, its derived
+     *  seed) to anchor the per-tenant slowdown, then the mix runs
+     *  concurrently and result.tenants[i].slowdown is filled in. */
+    std::vector<TenantSpec> tenants;
 };
 
 /**

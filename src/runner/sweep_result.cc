@@ -60,6 +60,29 @@ writeRunResult(JsonWriter &w, const RunResult &r)
     w.field("translations", r.translations);
     w.field("tlb_hit_rate", r.tlb_hit_rate);
     w.field("faults_per_kcycle", r.faults_per_kcycle);
+    // Multi-tenant cells (added in schema minor /1.3; deterministic).
+    if (!r.tenants.empty()) {
+        w.beginArray("tenants");
+        for (const TenantResult &t : r.tenants) {
+            w.beginObject();
+            w.field("id", static_cast<std::uint64_t>(t.id));
+            w.field("workload", t.workload);
+            w.field("seed", t.seed);
+            w.field("cycles", static_cast<std::uint64_t>(t.cycles));
+            w.field("kernels", t.kernels);
+            w.field("instructions", t.instructions);
+            w.field("footprint_bytes", t.footprint_bytes);
+            w.field("quota_pages", t.quota_pages);
+            w.field("demand_pages", t.demand_pages);
+            w.field("evictions_caused", t.evictions_caused);
+            w.field("evictions_suffered", t.evictions_suffered);
+            w.field("peak_resident_pages", t.peak_resident_pages);
+            w.field("avg_lifetime_cycles", t.avg_lifetime_cycles);
+            w.field("slowdown", t.slowdown);
+            w.endObject();
+        }
+        w.endArray();
+    }
     // Simulator self-measurement (host_wall_s / events_per_sec are
     // nondeterministic; consumers must not diff them across runs).
     w.field("sim_events", r.sim_events);

@@ -4,9 +4,9 @@
  * sweep-level metadata, exportable as schema-versioned JSON alongside
  * the Table/CSV output the bench binaries already print.
  *
- * JSON schema "bauvm.sweep/1.2":
+ * JSON schema "bauvm.sweep/1.3":
  * {
- *   "schema": "bauvm.sweep/1.2",
+ *   "schema": "bauvm.sweep/1.3",
  *   "bench": "<bench name>",
  *   "base_seed": u64, "scale": "tiny|small|medium|large",
  *   "ratio": f64, "jobs": u64, "elapsed_s": f64,
@@ -66,7 +66,7 @@ struct SweepResult {
      * Major bumped whenever the JSON layout changes incompatibly;
      * minor bumped for additive fields within the same major.
      */
-    static constexpr const char *kSchema = "bauvm.sweep/1.2";
+    static constexpr const char *kSchema = "bauvm.sweep/1.3";
 
     std::string bench;          //!< producing binary, e.g. "fig11_speedup"
     std::uint64_t base_seed = 0;

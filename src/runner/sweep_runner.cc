@@ -71,8 +71,12 @@ executeJob(const SweepJob &job, const SweepSpec &spec,
     if (job.variant_index < spec.variants.size() &&
         spec.variants[job.variant_index].mutate)
         spec.variants[job.variant_index].mutate(config);
-    config.check.enabled = spec.opt.audit;
+    spec.opt.applyTo(config);
     args.config = std::move(config);
+
+    args.tenants = spec.opt.tenants;
+    for (TenantSpec &t : args.tenants)
+        t.scale = spec.opt.scale;
 
     args.soft_timeout_s = spec.opt.timeout_s;
     if (!spec.opt.trace_dir.empty()) {
@@ -86,7 +90,7 @@ executeJob(const SweepJob &job, const SweepSpec &spec,
     std::string key;
     if (cache) {
         key = cellKey(args.workload, args.scale, args.config,
-                      gitRev());
+                      gitRev(), args.tenants);
         digest = digestHex(key);
         CellOutcome cached;
         if (cache->lookup(digest, key, &cached)) {

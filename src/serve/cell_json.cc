@@ -68,6 +68,16 @@ writeCellSpec(JsonWriter &w, const CellSpec &spec)
     w.field("ratio", spec.ratio);
     w.field("seed", spec.base_seed);
     w.field("audit", spec.audit);
+    if (!spec.tenants.empty()) {
+        w.beginArray("tenants");
+        for (const TenantSpec &t : spec.tenants) {
+            w.beginObject();
+            w.field("workload", t.workload);
+            w.field("quota", t.quota);
+            w.endObject();
+        }
+        w.endArray();
+    }
     w.endObject();
 }
 
@@ -108,6 +118,26 @@ parseCellSpec(const JsonValue &v, CellSpec *out, std::string *error)
                                      co.key + "'");
             out->overrides.push_back(std::move(co));
         }
+    }
+    if (const JsonValue *tenants = v.find("tenants")) {
+        if (!tenants->isArray())
+            return failParse(error,
+                             "cell spec: tenants is not an array");
+        for (std::size_t i = 0; i < tenants->size(); ++i) {
+            const JsonValue &t = tenants->at(i);
+            TenantSpec spec;
+            spec.workload = t.getString("workload");
+            if (spec.workload.empty())
+                return failParse(
+                    error, "cell spec: tenant without workload");
+            spec.quota = t.getDouble("quota", 0.0);
+            spec.scale = out->scale; // tenants share the cell scale
+            out->tenants.push_back(std::move(spec));
+        }
+        if (out->tenants.size() == 1)
+            return failParse(error,
+                             "cell spec: a tenant mix needs at least "
+                             "two tenants");
     }
     return true;
 }
@@ -172,6 +202,33 @@ parseCellOutcome(const JsonValue &v, CellOutcome *out,
     res.sim_events = r->getU64("sim_events");
     res.host_wall_s = r->getDouble("host_wall_s");
     res.events_per_sec = r->getDouble("events_per_sec");
+
+    if (const JsonValue *tenants = r->find("tenants")) {
+        if (!tenants->isArray())
+            return failParse(
+                error, "cell outcome: tenants is not an array");
+        res.tenants.reserve(tenants->size());
+        for (std::size_t i = 0; i < tenants->size(); ++i) {
+            const JsonValue &t = tenants->at(i);
+            TenantResult tr;
+            tr.id = static_cast<TenantId>(t.getU64("id"));
+            tr.workload = t.getString("workload");
+            tr.seed = t.getU64("seed");
+            tr.cycles = t.getU64("cycles");
+            tr.kernels = t.getU64("kernels");
+            tr.instructions = t.getU64("instructions");
+            tr.footprint_bytes = t.getU64("footprint_bytes");
+            tr.quota_pages = t.getU64("quota_pages");
+            tr.demand_pages = t.getU64("demand_pages");
+            tr.evictions_caused = t.getU64("evictions_caused");
+            tr.evictions_suffered = t.getU64("evictions_suffered");
+            tr.peak_resident_pages = t.getU64("peak_resident_pages");
+            tr.avg_lifetime_cycles =
+                t.getDouble("avg_lifetime_cycles");
+            tr.slowdown = t.getDouble("slowdown");
+            res.tenants.push_back(std::move(tr));
+        }
+    }
 
     // writeCellJson emits batch_records as a sibling of "result" on
     // the cell object (not inside it) — read it from there, or every

@@ -23,10 +23,13 @@ failParse(std::string *error, const std::string &what)
 
 /** Expands one workloads[] entry: "@irregular"/"@regular"/"@frontier"/
  *  "@all" into registry enumerations, anything else checked against
- *  the registry. */
+ *  the registry — unless @p labels_only, in which case non-group
+ *  entries are opaque cell labels (a tenant-mix request runs its
+ *  tenants, not the workload axis). */
 bool
 expandWorkloadEntry(const std::string &entry,
-                    std::vector<std::string> *out, std::string *error)
+                    std::vector<std::string> *out, std::string *error,
+                    bool labels_only)
 {
     const WorkloadRegistry &reg = WorkloadRegistry::instance();
     if (entry == "@irregular" || entry == "@regular" ||
@@ -45,7 +48,7 @@ expandWorkloadEntry(const std::string &entry,
             out->push_back(name);
         return true;
     }
-    if (!reg.contains(entry))
+    if (!labels_only && !reg.contains(entry))
         return failParse(error, "sweep request: unknown workload '" +
                                     entry + "'");
     out->push_back(entry);
@@ -93,13 +96,14 @@ parseSweepRequest(const JsonValue &v, SweepRequest *out,
     if (!workloads || !workloads->isArray() || workloads->size() == 0)
         return failParse(
             error, "sweep request: workloads must be a non-empty array");
+    const bool labels_only = v.find("tenants") != nullptr;
     for (std::size_t i = 0; i < workloads->size(); ++i) {
         const JsonValue &entry = workloads->at(i);
         if (!entry.isString())
             return failParse(
                 error, "sweep request: workloads[] entries are strings");
         if (!expandWorkloadEntry(entry.asString(), &out->workloads,
-                                 error))
+                                 error, labels_only))
             return false;
     }
 
@@ -152,6 +156,45 @@ parseSweepRequest(const JsonValue &v, SweepRequest *out,
     out->ratio = v.getDouble("ratio", 0.5);
     out->seed = v.getU64("seed", 1);
     out->audit = v.getBool("audit", false);
+    if (const JsonValue *tenants = v.find("tenants")) {
+        if (!tenants->isArray() || tenants->size() < 2)
+            return failParse(error,
+                             "sweep request: tenants must be an array "
+                             "of at least two entries");
+        const WorkloadRegistry &reg = WorkloadRegistry::instance();
+        for (std::size_t i = 0; i < tenants->size(); ++i) {
+            const JsonValue &t = tenants->at(i);
+            TenantSpec spec;
+            spec.workload = t.getString("workload");
+            if (!reg.contains(spec.workload))
+                return failParse(error,
+                                 "sweep request: unknown tenant "
+                                 "workload '" +
+                                     spec.workload + "'");
+            spec.quota = t.getDouble("quota", 0.0);
+            if (spec.quota < 0.0)
+                return failParse(
+                    error, "sweep request: negative tenant quota");
+            spec.scale = out->scale;
+            out->tenants.push_back(std::move(spec));
+        }
+    }
+    if (const JsonValue *policy = v.find("share_policy")) {
+        if (!policy->isString())
+            return failParse(
+                error, "sweep request: share_policy is not a string");
+        const std::string name = policy->asString();
+        if (name == "free-for-all")
+            out->share_policy = SharePolicy::FreeForAll;
+        else if (name == "strict")
+            out->share_policy = SharePolicy::StrictQuota;
+        else if (name == "proportional")
+            out->share_policy = SharePolicy::Proportional;
+        else
+            return failParse(error,
+                             "sweep request: unknown share_policy '" +
+                                 name + "'");
+    }
     out->timeout_s = v.getDouble("timeout_s", 0.0);
     out->hard_timeout_s = v.getDouble("hard_timeout_s", 0.0);
     if (out->timeout_s < 0.0 || out->hard_timeout_s < 0.0)
@@ -204,6 +247,17 @@ writeSweepRequest(JsonWriter &w, const SweepRequest &req)
     w.field("ratio", req.ratio);
     w.field("seed", req.seed);
     w.field("audit", req.audit);
+    if (!req.tenants.empty()) {
+        w.beginArray("tenants");
+        for (const TenantSpec &t : req.tenants) {
+            w.beginObject();
+            w.field("workload", t.workload);
+            w.field("quota", t.quota);
+            w.endObject();
+        }
+        w.endArray();
+        w.field("share_policy", sharePolicyName(req.share_policy));
+    }
     w.field("timeout_s", req.timeout_s);
     w.field("hard_timeout_s", req.hard_timeout_s);
     w.field("jobs", static_cast<std::uint64_t>(req.jobs));
@@ -234,6 +288,14 @@ expandCells(const SweepRequest &req)
                 cell.ratio = req.ratio;
                 cell.base_seed = req.seed;
                 cell.audit = req.audit;
+                if (!req.tenants.empty()) {
+                    cell.tenants = req.tenants;
+                    for (TenantSpec &t : cell.tenants)
+                        t.scale = req.scale;
+                    cell.overrides.push_back(
+                        {"mt.policy",
+                         static_cast<double>(req.share_policy)});
+                }
                 cells.push_back(std::move(cell));
             }
         }
@@ -265,6 +327,7 @@ runRequestSerial(const SweepRequest &req, bool verbose)
         args.scale = spec.scale;
         args.config = cellConfig(spec);
         args.soft_timeout_s = req.timeout_s;
+        args.tenants = spec.tenants;
         result.cells.push_back(executeCell(args));
         if (verbose) {
             const CellOutcome &cell = result.cells.back();

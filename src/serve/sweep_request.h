@@ -4,9 +4,10 @@
  * schema `bauvm.sweep-request/1`.
  *
  * A request names a (workload x policy x variant) matrix plus the
- * shared run options (scale, ratio, seed, audit, timeouts) and the
- * service-side execution knobs (worker count, shard chunking, flush
- * batching). expandCells() lowers it to the flat CellSpec vector in
+ * shared run options (scale, ratio, seed, audit, timeouts), an
+ * optional multi-tenant mix ("tenants" + "share_policy", applied to
+ * every cell) and the service-side execution knobs (worker count,
+ * shard chunking, flush batching). expandCells() lowers it to the flat CellSpec vector in
  * the same variant-major -> workload -> policy order SweepRunner uses,
  * so a daemon-merged result orders its cells exactly like the serial
  * in-process sweep it must be byte-identical to.
@@ -61,6 +62,16 @@ struct SweepRequest {
     double ratio = 0.5;
     std::uint64_t seed = 1;
     bool audit = false;
+
+    /** Non-empty = every cell runs this concurrent tenant mix
+     *  ({"workload", "quota"} objects) instead of a single workload;
+     *  the matrix's workload axis then only labels the cells. */
+    std::vector<TenantSpec> tenants;
+    /** "free-for-all" | "strict" | "proportional" — how the tenants
+     *  share device memory. Lowered onto every cell as an "mt.policy"
+     *  override so it reaches the config (and the content address)
+     *  through the ordinary knob path. */
+    SharePolicy share_policy = SharePolicy::FreeForAll;
 
     /** Soft per-cell budget (accept/reject, checked at cell end). */
     double timeout_s = 0.0;

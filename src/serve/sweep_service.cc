@@ -496,8 +496,9 @@ SweepService::Impl::admit(ClientConn &conn)
     std::vector<std::string> keys;
     keys.reserve(r->cells.size());
     for (const CellSpec &spec : r->cells) {
-        const std::string key = cellKey(
-            spec.workload, spec.scale, cellConfig(spec), git_rev);
+        const std::string key =
+            cellKey(spec.workload, spec.scale, cellConfig(spec),
+                    git_rev, spec.tenants);
         keys.push_back(key);
         r->digests.push_back(digestHex(key));
     }

@@ -162,8 +162,10 @@ runWorkerLoop(int in_fd, int out_fd, const WorkerOptions &opt)
             args.config = cellConfig(spec);
             args.soft_timeout_s = soft_timeout_s;
             args.git_rev = git_rev;
-            const std::string key = cellKey(spec.workload, spec.scale,
-                                            args.config, git_rev);
+            args.tenants = spec.tenants;
+            const std::string key =
+                cellKey(spec.workload, spec.scale, args.config,
+                        git_rev, spec.tenants);
             const std::string digest = digestHex(key);
 
             // "begin" before the work: the daemon's hard timeout must

@@ -142,6 +142,28 @@ struct EtcConfig {
     Cycle epoch_cycles = 200000;     //!< detection/execution epoch length
 };
 
+/**
+ * How the GpuMemoryManager arbitrates device frames between tenants
+ * when several workloads share the GPU (core/tenant.h).
+ */
+enum class SharePolicy : std::uint8_t {
+    /** No per-tenant accounting on the eviction path: the global LRU
+     *  chunk order picks victims regardless of owner (a tenant can
+     *  grow without bound at the others' expense). */
+    FreeForAll = 0,
+    /** Hard per-tenant frame caps: a tenant at its quota evicts its
+     *  own oldest chunk and can never displace another tenant. */
+    StrictQuota = 1,
+    /** Weighted fair share: the victim is the tenant furthest above
+     *  its weighted share of committed frames. */
+    Proportional = 2,
+};
+
+/** Multi-tenant arbitration parameters. */
+struct MtConfig {
+    SharePolicy policy = SharePolicy::FreeForAll;
+};
+
 /** SM and grid-dispatch parameters. */
 struct GpuConfig {
     std::uint32_t num_sms = 16;
@@ -165,6 +187,7 @@ struct SimConfig {
     EtcConfig etc;
     TraceConfig trace;
     CheckConfig check;
+    MtConfig mt;
     /**
      * GPU memory capacity as a fraction of the workload footprint
      * (the paper's oversubscription ratio). 1.0 means everything fits;

@@ -31,6 +31,12 @@ using PageNum = std::uint64_t;
 /** Physical frame number in GPU device memory. */
 using FrameNum = std::uint64_t;
 
+/** Dense tenant index within one multi-tenant run (core/tenant.h). */
+using TenantId = std::uint16_t;
+
+/** "No tenant": single-tenant runs and unattributed events. */
+constexpr TenantId kNoTenant = 0xffff;
+
 /** Number of cycles per simulated microsecond (1 GHz core clock). */
 constexpr Cycle kCyclesPerUs = 1000;
 

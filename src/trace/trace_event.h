@@ -82,6 +82,16 @@ inline constexpr TraceTrack kTraceTrackRuntime = 0xfff0;
 inline constexpr TraceTrack kTraceTrackPcieH2d = 0xfff1;
 inline constexpr TraceTrack kTraceTrackPcieD2h = 0xfff2;
 inline constexpr TraceTrack kTraceTrackMemory = 0xfff3;
+/** Per-tenant counter tracks: tenant t lives at base + t. Far above
+ *  any realistic SM id, below the fixed runtime tracks. */
+inline constexpr TraceTrack kTraceTrackTenantBase = 0xff00;
+
+/** Tenant @p id as a counter track. */
+inline TraceTrack
+traceTrackTenant(TenantId id)
+{
+    return static_cast<TraceTrack>(kTraceTrackTenantBase + id);
+}
 
 /** SM @p id as a track. */
 inline TraceTrack

@@ -87,6 +87,11 @@ traceTrackName(TraceTrack track)
       case kTraceTrackMemory:
         return "gpu_memory";
       default:
+        if (track >= kTraceTrackTenantBase &&
+            track < kTraceTrackTenantBase + 0xf0) {
+            return "tenant" +
+                   std::to_string(track - kTraceTrackTenantBase);
+        }
         return "sm" + std::to_string(track);
     }
 }

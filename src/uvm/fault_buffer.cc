@@ -15,7 +15,7 @@ FaultBuffer::FaultBuffer(std::uint32_t capacity, PageMetaTable &meta,
 }
 
 void
-FaultBuffer::insert(PageNum vpn, Cycle now)
+FaultBuffer::insert(PageNum vpn, Cycle now, TenantId tenant)
 {
     ++total_faults_;
     PageMeta &m = meta_.ensure(vpn);
@@ -40,7 +40,7 @@ FaultBuffer::insert(PageNum vpn, Cycle now)
                 return;
             }
         }
-        overflow_.push_back(FaultRecord{vpn, now, 1});
+        overflow_.push_back(FaultRecord{vpn, now, 1, tenant});
         if (hooks_.trace) {
             hooks_.trace->counter(
                 TraceEventType::FaultBufferDepth, kTraceTrackRuntime,
@@ -54,7 +54,7 @@ FaultBuffer::insert(PageNum vpn, Cycle now)
         return;
     }
     m.fault_slot = static_cast<std::uint32_t>(order_.size());
-    order_.push_back(FaultRecord{vpn, now, 1});
+    order_.push_back(FaultRecord{vpn, now, 1, tenant});
     if (hooks_.trace) {
         hooks_.trace->counter(TraceEventType::FaultBufferDepth,
                               kTraceTrackRuntime, now, order_.size(),

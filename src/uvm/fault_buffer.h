@@ -38,6 +38,7 @@ struct FaultRecord {
     PageNum vpn = 0;
     Cycle first_cycle = 0;      //!< when the first fault for the page hit
     std::uint32_t duplicates = 1; //!< total faulting requests coalesced
+    TenantId tenant = kNoTenant;  //!< owner of the faulting page
 };
 
 /** Bounded buffer of outstanding (not yet batched) page faults. */
@@ -60,9 +61,10 @@ class FaultBuffer
      *
      * Duplicate faults for a page already buffered merge into its entry.
      * When the buffer is full, the fault goes to the overflow queue and
-     * is counted in overflows().
+     * is counted in overflows(). @p tenant attributes the fault in
+     * multi-tenant runs; duplicates keep the first fault's attribution.
      */
-    void insert(PageNum vpn, Cycle now);
+    void insert(PageNum vpn, Cycle now, TenantId tenant = kNoTenant);
 
     /**
      * Moves every buffered entry into @p out (batch formation), then

@@ -31,14 +31,37 @@ GpuMemoryManager::setCapacityPages(std::uint64_t pages)
 }
 
 void
-GpuMemoryManager::reserveFrame()
+GpuMemoryManager::setTenantDirectory(const TenantDirectory *dir)
+{
+    if (committed_ != 0)
+        fatal("GpuMemoryManager: setTenantDirectory after commits");
+    dir_ = dir;
+    const std::size_t n = dir ? dir->size() : 0;
+    committed_by_.assign(n, 0);
+    peak_committed_by_.assign(n, 0);
+    caused_.assign(n, 0);
+    suffered_.assign(n, 0);
+    lifetime_sum_by_.assign(n, 0.0);
+    lifetime_count_by_.assign(n, 0);
+}
+
+void
+GpuMemoryManager::reserveFrame(TenantId tenant)
 {
     if (!hasFreeFrame())
         panic("GpuMemoryManager: reserveFrame with no free frame");
+    if (dir_ && tenant != kNoTenant && !hasFreeFrameFor(tenant))
+        panic("GpuMemoryManager: reserveFrame exceeds tenant %u quota",
+              static_cast<unsigned>(tenant));
     if (!unlimited())
         ++committed_;
+    if (dir_ && tenant != kNoTenant) {
+        ++committed_by_[tenant];
+        if (committed_by_[tenant] > peak_committed_by_[tenant])
+            peak_committed_by_[tenant] = committed_by_[tenant];
+    }
     if (hooks_.audit)
-        hooks_.audit->onFrameReserved(committed_);
+        hooks_.audit->onFrameReserved(committed_, tenant);
 }
 
 GpuMemoryManager::ChunkMeta &
@@ -91,6 +114,16 @@ GpuMemoryManager::commitPage(PageNum vpn, Cycle now)
         hooks_.trace->counter(
             TraceEventType::CommittedFrames, kTraceTrackMemory, now,
             committed_, static_cast<std::uint32_t>(capacity_pages_));
+        if (dir_) {
+            const TenantId owner = dir_->tenantOf(vpn);
+            if (owner != kNoTenant) {
+                hooks_.trace->counter(
+                    TraceEventType::CommittedFrames,
+                    traceTrackTenant(owner), now, committed_by_[owner],
+                    static_cast<std::uint32_t>(
+                        dir_->context(owner).quota_pages));
+            }
+        }
     }
     page_table_.map(vpn, vpn /* identity frames: timing-only model */);
     PageMeta &m = page_table_.meta().at(vpn);
@@ -124,12 +157,10 @@ GpuMemoryManager::commitPage(PageNum vpn, Cycle now)
         hooks_.audit->onPageCommitted(vpn, now, committed_);
 }
 
-bool
-GpuMemoryManager::beginEviction(PageNum *vpn, Cycle now)
+PageNum
+GpuMemoryManager::evictOldestPageOf(std::uint32_t chunk, Cycle now,
+                                    TenantId cause)
 {
-    if (lru_head_ == PageMeta::kNoIndex)
-        return false;
-    const std::uint32_t chunk = lru_head_;
     ChunkMeta &c = chunks_[chunk];
     if (c.page_head == PageMeta::kNoIndex)
         panic("GpuMemoryManager: LRU chunk with no pages");
@@ -157,10 +188,96 @@ GpuMemoryManager::beginEviction(PageNum *vpn, Cycle now)
                static_cast<unsigned long long>(capacity_pages_));
     lifetime_.addLifetime(now - m.alloc_time);
 
+    if (dir_) {
+        const TenantId owner = dir_->tenantOf(victim);
+        if (owner != kNoTenant) {
+            ++suffered_[owner];
+            lifetime_sum_by_[owner] +=
+                static_cast<double>(now - m.alloc_time);
+            ++lifetime_count_by_[owner];
+        }
+        if (cause != kNoTenant)
+            ++caused_[cause];
+    }
+
     if (hooks_.audit)
         hooks_.audit->onEvictionBegin(victim, now, committed_);
 
-    *vpn = victim;
+    return victim;
+}
+
+bool
+GpuMemoryManager::beginEviction(PageNum *vpn, Cycle now)
+{
+    if (lru_head_ == PageMeta::kNoIndex)
+        return false;
+    *vpn = evictOldestPageOf(lru_head_, now, kNoTenant);
+    return true;
+}
+
+std::uint32_t
+GpuMemoryManager::firstChunkOf(TenantId tenant) const
+{
+    for (std::uint32_t c = lru_head_; c != PageMeta::kNoIndex;
+         c = chunks_[c].next) {
+        if (chunkOwner(c) == tenant)
+            return c;
+    }
+    return PageMeta::kNoIndex;
+}
+
+bool
+GpuMemoryManager::beginEvictionFor(TenantId cause, PageNum *vpn,
+                                   Cycle now)
+{
+    if (lru_head_ == PageMeta::kNoIndex)
+        return false;
+    if (dir_ == nullptr)
+        return beginEviction(vpn, now);
+
+    std::uint32_t chunk = PageMeta::kNoIndex;
+    switch (dir_->policy()) {
+      case SharePolicy::FreeForAll:
+        break; // global LRU head below
+      case SharePolicy::StrictQuota:
+        // The needy tenant pays for its own frame; it can never
+        // displace another tenant's pages. When none of its pages is
+        // evictable right now (all still in flight), report failure
+        // and let the runtime wait for the arrivals instead of
+        // falling back to another tenant's chunk.
+        if (cause != kNoTenant) {
+            chunk = firstChunkOf(cause);
+            if (chunk == PageMeta::kNoIndex)
+                return false;
+        }
+        break;
+      case SharePolicy::Proportional: {
+        // Victimize the tenant furthest above its weighted fair
+        // share of committed frames (ties break to the lowest id).
+        TenantId target = kNoTenant;
+        double worst = 0.0;
+        for (std::size_t t = 0; t < committed_by_.size(); ++t) {
+            if (committed_by_[t] == 0)
+                continue;
+            const double w = dir_->context(
+                                     static_cast<TenantId>(t))
+                                 .weight;
+            const double over =
+                static_cast<double>(committed_by_[t]) /
+                (w > 0.0 ? w : 1.0);
+            if (target == kNoTenant || over > worst) {
+                target = static_cast<TenantId>(t);
+                worst = over;
+            }
+        }
+        if (target != kNoTenant)
+            chunk = firstChunkOf(target);
+        break;
+      }
+    }
+    if (chunk == PageMeta::kNoIndex)
+        chunk = lru_head_; // fall back to the global aged-LRU head
+    *vpn = evictOldestPageOf(chunk, now, cause);
     return true;
 }
 
@@ -171,6 +288,15 @@ GpuMemoryManager::completeEviction(PageNum vpn)
         if (committed_ == 0)
             panic("GpuMemoryManager: completeEviction underflow");
         --committed_;
+    }
+    if (dir_) {
+        const TenantId owner = dir_->tenantOf(vpn);
+        if (owner != kNoTenant) {
+            if (committed_by_[owner] == 0)
+                panic("GpuMemoryManager: tenant %u frame underflow",
+                      static_cast<unsigned>(owner));
+            --committed_by_[owner];
+        }
     }
     if (hooks_.audit)
         hooks_.audit->onEvictionComplete(vpn, committed_);

@@ -30,6 +30,7 @@
 #include "src/check/sim_hooks.h"
 #include "src/mem/page_meta.h"
 #include "src/mem/page_table.h"
+#include "src/mem/tenant_directory.h"
 #include "src/sim/config.h"
 #include "src/sim/types.h"
 #include "src/trace/trace_sink.h"
@@ -84,10 +85,44 @@ class GpuMemoryManager
     bool atCapacity() const { return !hasFreeFrame(); }
 
     /**
-     * Reserves a frame for an inbound page transfer.
-     * @pre hasFreeFrame().
+     * Registers the run's tenant directory, switching the manager into
+     * multi-tenant arbitration: frames are charged to their owning
+     * tenant and victim selection follows the directory's SharePolicy.
+     * Must be called before any frame is committed. nullptr (the
+     * default state) keeps the exact single-tenant behaviour.
      */
-    void reserveFrame();
+    void setTenantDirectory(const TenantDirectory *dir);
+
+    /**
+     * hasFreeFrame(), tightened by the tenant quota: under StrictQuota
+     * a tenant at its cap has no free frame even when the GPU does
+     * (it must evict one of its own pages first). With no directory or
+     * @p tenant == kNoTenant this is exactly hasFreeFrame().
+     */
+    bool
+    hasFreeFrameFor(TenantId tenant) const
+    {
+        if (!hasFreeFrame())
+            return false;
+        if (dir_ == nullptr || tenant == kNoTenant ||
+            dir_->policy() != SharePolicy::StrictQuota)
+            return true;
+        return committed_by_[tenant] <
+               dir_->context(tenant).quota_pages;
+    }
+
+    /** Frames currently charged to @p tenant. */
+    std::uint64_t committedFramesOf(TenantId tenant) const
+    {
+        return committed_by_[tenant];
+    }
+
+    /**
+     * Reserves a frame for an inbound page transfer, charged to
+     * @p tenant when a directory is registered.
+     * @pre hasFreeFrameFor(tenant).
+     */
+    void reserveFrame(TenantId tenant = kNoTenant);
 
     /**
      * Completes an inbound migration: maps @p vpn into the reserved
@@ -105,6 +140,20 @@ class GpuMemoryManager
      *               already being evicted).
      */
     bool beginEviction(PageNum *vpn, Cycle now);
+
+    /**
+     * Tenant-aware victim selection: like beginEviction(), but the
+     * SharePolicy steers *whose* chunk loses its oldest page.
+     * StrictQuota evicts from @p cause itself (the tenant that needs
+     * the frame); Proportional evicts from the tenant furthest above
+     * its weighted share. Either way the choice within the selected
+     * tenant follows the aged chunk LRU (its least recently allocated
+     * chunk), and when no page of the selected tenant is evictable the
+     * selection falls back to the global LRU head. With no directory,
+     * FreeForAll, or @p cause == kNoTenant under StrictQuota this is
+     * exactly beginEviction().
+     */
+    bool beginEvictionFor(TenantId cause, PageNum *vpn, Cycle now);
 
     /** Releases the victim's frame once its D2H transfer finished. */
     void completeEviction(PageNum vpn);
@@ -132,6 +181,34 @@ class GpuMemoryManager
 
     std::uint64_t migrations() const { return migrations_; }
 
+    /** Evictions chosen on @p tenant's behalf (it needed the frame). */
+    std::uint64_t evictionsCausedBy(TenantId tenant) const
+    {
+        return caused_[tenant];
+    }
+
+    /** Evictions that removed one of @p tenant's own pages. */
+    std::uint64_t evictionsSufferedBy(TenantId tenant) const
+    {
+        return suffered_[tenant];
+    }
+
+    /** High-water mark of frames charged to @p tenant. */
+    std::uint64_t peakCommittedFramesOf(TenantId tenant) const
+    {
+        return peak_committed_by_[tenant];
+    }
+
+    /** Mean lifetime (cycles) of @p tenant's evicted pages. */
+    double
+    avgLifetimeOf(TenantId tenant) const
+    {
+        return lifetime_count_by_[tenant]
+                   ? lifetime_sum_by_[tenant] /
+                         static_cast<double>(lifetime_count_by_[tenant])
+                   : 0.0;
+    }
+
   private:
     /**
      * Per-root-chunk state: intrusive LRU links plus the head/tail of
@@ -156,12 +233,38 @@ class GpuMemoryManager
     void lruUnlink(std::uint32_t chunk);
     void lruAppend(std::uint32_t chunk);
 
+    /** Owner of @p chunk (slices are chunk-aligned, so the chunk's
+     *  first page decides). kNoTenant with no directory. */
+    TenantId chunkOwner(std::uint32_t chunk) const
+    {
+        return dir_ ? dir_->tenantOf(static_cast<PageNum>(chunk) *
+                                     config_.root_chunk_pages)
+                    : kNoTenant;
+    }
+
+    /** First LRU chunk owned by @p tenant, or kNoIndex. */
+    std::uint32_t firstChunkOf(TenantId tenant) const;
+
+    /** Pops and evicts the oldest page of LRU chunk @p chunk. */
+    PageNum evictOldestPageOf(std::uint32_t chunk, Cycle now,
+                              TenantId cause);
+
     SimHooks hooks_;
     UvmConfig config_;
     std::uint64_t capacity_pages_;
     std::uint64_t committed_ = 0;
     PageTable page_table_;
     LifetimeTracker lifetime_;
+    const TenantDirectory *dir_ = nullptr;
+
+    // Per-tenant accounting, indexed by TenantId; sized (and only
+    // touched) once a directory is registered.
+    std::vector<std::uint64_t> committed_by_;
+    std::vector<std::uint64_t> peak_committed_by_;
+    std::vector<std::uint64_t> caused_;
+    std::vector<std::uint64_t> suffered_;
+    std::vector<double> lifetime_sum_by_;
+    std::vector<std::uint64_t> lifetime_count_by_;
 
     std::vector<ChunkMeta> chunks_; //!< dense, indexed by chunk id
     std::uint32_t lru_head_ = PageMeta::kNoIndex; //!< oldest chunk

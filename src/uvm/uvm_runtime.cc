@@ -30,6 +30,13 @@ UvmRuntime::UvmRuntime(const UvmConfig &config, EventQueue &events,
 }
 
 void
+UvmRuntime::setTenantDirectory(const TenantDirectory *dir)
+{
+    dir_ = dir;
+    demand_by_.assign(dir ? dir->size() : 0, 0);
+}
+
+void
 UvmRuntime::registerAllocation(VAddr base, std::uint64_t bytes)
 {
     const PageNum first = base / config_.page_bytes;
@@ -100,7 +107,7 @@ UvmRuntime::onPageFault(PageNum vpn, WakeFn waiter)
         // Already queued in the active batch; the waiter joins it.
         return;
     }
-    fault_buffer_.insert(vpn, now);
+    fault_buffer_.insert(vpn, now, tenantFor(vpn));
     if (state_ == State::Idle) {
         state_ = State::InterruptPending;
         if (hooks_.audit)
@@ -145,6 +152,8 @@ UvmRuntime::batchBegin()
         }
         demand_.push_back(f.vpn);
         current_.duplicate_faults += f.duplicates - 1;
+        if (dir_ && f.tenant != kNoTenant)
+            ++demand_by_[f.tenant];
     }
     std::sort(demand_.begin(), demand_.end());
 
@@ -188,12 +197,12 @@ UvmRuntime::batchBegin()
 }
 
 bool
-UvmRuntime::launchEviction(Cycle earliest)
+UvmRuntime::launchEviction(Cycle earliest, TenantId cause)
 {
     PageNum victim;
-    if (!manager_.beginEviction(&victim, events_.now()))
+    if (!manager_.beginEvictionFor(cause, &victim, events_.now()))
         return false;
-    hierarchy_.invalidatePage(victim);
+    hierarchyFor(victim).invalidatePage(victim);
     ++evictions_in_flight_;
     if (config_.ideal_eviction) {
         manager_.completeEviction(victim);
@@ -220,7 +229,7 @@ UvmRuntime::launchEviction(Cycle earliest)
 void
 UvmRuntime::scheduleMigration(PageNum vpn)
 {
-    manager_.reserveFrame();
+    manager_.reserveFrame(tenantFor(vpn));
     const std::uint64_t bytes = pcie_compression_.compressedBytes(
         vpn, config_.page_bytes);
     Cycle start = 0;
@@ -248,12 +257,15 @@ void
 UvmRuntime::pumpMigrations()
 {
     while (mig_idx_ < migration_queue_.size()) {
-        if (manager_.hasFreeFrame()) {
+        // The head page's owner also pays for any eviction its
+        // migration needs (the SharePolicy picks whose page goes).
+        const TenantId cause = tenantFor(migration_queue_[mig_idx_]);
+        if (manager_.hasFreeFrameFor(cause)) {
             scheduleMigration(migration_queue_[mig_idx_++]);
             continue;
         }
         if (config_.ideal_eviction) {
-            if (!launchEviction(events_.now()))
+            if (!launchEviction(events_.now(), cause))
                 break; // nothing evictable yet; arrivals will re-pump
             continue;
         }
@@ -268,7 +280,7 @@ UvmRuntime::pumpMigrations()
             const std::uint64_t depth =
                 remaining < 2 ? remaining : 2;
             while (evictions_in_flight_ < depth) {
-                if (!launchEviction(events_.now()))
+                if (!launchEviction(events_.now(), cause))
                     break;
             }
             break;
@@ -279,7 +291,8 @@ UvmRuntime::pumpMigrations()
         if (evictions_in_flight_ == 0) {
             const Cycle earliest = std::max(
                 events_.now(), pcie_.channelFree(PcieDir::HostToDevice));
-            if (!launchEviction(earliest) && arrivals_pending_ == 0) {
+            if (!launchEviction(earliest, cause) &&
+                arrivals_pending_ == 0 && evictions_in_flight_ == 0) {
                 panic("UvmRuntime: migration stalled with nothing "
                       "evictable (capacity too small?)");
             }
@@ -346,8 +359,10 @@ UvmRuntime::batchEnd()
 
     const OversubAdvice advice =
         manager_.lifetimeTracker().update(events_.now());
-    if (advice_cb_)
-        advice_cb_(advice);
+    for (const AdviceFn &cb : advice_cbs_) {
+        if (cb)
+            cb(advice);
+    }
     if (batch_end_cb_)
         batch_end_cb_(records_.back());
 

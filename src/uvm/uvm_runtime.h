@@ -39,6 +39,7 @@
 #include "src/check/sim_hooks.h"
 #include "src/mem/memory_hierarchy.h"
 #include "src/mem/page_meta.h"
+#include "src/mem/tenant_directory.h"
 #include "src/sim/config.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/inline_function.h"
@@ -114,8 +115,43 @@ class UvmRuntime
      */
     void onPageFault(PageNum vpn, WakeFn waiter);
 
-    /** Installs the advice sink for the TO controller. */
-    void setAdviceCallback(AdviceFn cb) { advice_cb_ = std::move(cb); }
+    /**
+     * Registers the run's tenant directory (multi-tenant runs only):
+     * faults are attributed to the owning tenant, frame reservations
+     * are charged per tenant, and eviction victims follow the
+     * directory's SharePolicy. nullptr keeps single-tenant behaviour.
+     */
+    void setTenantDirectory(const TenantDirectory *dir);
+
+    /**
+     * Registers each tenant's memory hierarchy so eviction shootdowns
+     * invalidate the TLBs that could actually cache the page (tenant
+     * VA slices are disjoint, so only the owner's hierarchy can).
+     * Indexed by TenantId; unrouted pages fall back to the hierarchy
+     * passed at construction.
+     */
+    void setTenantHierarchies(std::vector<MemoryHierarchy *> hierarchies)
+    {
+        tenant_hierarchies_ = std::move(hierarchies);
+    }
+
+    /** Adds an advice sink for a TO controller. Multi-tenant runs
+     *  register one sink per tenant GPU; each batch fans the advice
+     *  out to all of them. */
+    void setAdviceCallback(AdviceFn cb)
+    {
+        advice_cbs_.push_back(std::move(cb));
+    }
+
+    /** Drops every registered advice sink (multi-tenant runs clear the
+     *  default GPU's sink before wiring the tenant GPUs). */
+    void clearAdviceCallbacks() { advice_cbs_.clear(); }
+
+    /** Demand-fault pages attributed to @p tenant. */
+    std::uint64_t demandPagesOf(TenantId tenant) const
+    {
+        return demand_by_[tenant];
+    }
 
     /** Callback fired after every batch completes (ETC epochs hook). */
     using BatchEndFn = std::function<void(const BatchRecord &)>;
@@ -166,8 +202,9 @@ class UvmRuntime
     void batchBegin();
     void pumpMigrations();
     void scheduleMigration(PageNum vpn);
-    /** Launches one eviction; @p earliest constrains the D2H start. */
-    bool launchEviction(Cycle earliest);
+    /** Launches one eviction; @p earliest constrains the D2H start and
+     *  @p cause attributes it (the tenant that needs the frame). */
+    bool launchEviction(Cycle earliest, TenantId cause = kNoTenant);
     void onEvictionComplete(PageNum vpn);
     void onPageArrived(PageNum vpn);
     void batchEnd();
@@ -178,11 +215,32 @@ class UvmRuntime
     /** Detaches @p vpn's waiter list and invokes it in FIFO order. */
     void wakeWaiters(PageNum vpn, Cycle now);
 
+    /** Owning tenant of @p vpn (kNoTenant with no directory). */
+    TenantId tenantFor(PageNum vpn) const
+    {
+        return dir_ ? dir_->tenantOf(vpn) : kNoTenant;
+    }
+
+    /** Hierarchy whose TLBs may cache @p vpn (see
+     *  setTenantHierarchies). */
+    MemoryHierarchy &hierarchyFor(PageNum vpn)
+    {
+        const TenantId owner = tenantFor(vpn);
+        if (owner == kNoTenant ||
+            owner >= tenant_hierarchies_.size() ||
+            tenant_hierarchies_[owner] == nullptr)
+            return hierarchy_;
+        return *tenant_hierarchies_[owner];
+    }
+
     SimHooks hooks_;
     UvmConfig config_;
     EventQueue &events_;
     GpuMemoryManager &manager_;
     MemoryHierarchy &hierarchy_;
+    const TenantDirectory *dir_ = nullptr;
+    std::vector<MemoryHierarchy *> tenant_hierarchies_;
+    std::vector<std::uint64_t> demand_by_; //!< per-tenant demand pages
     PageMetaTable &meta_; //!< shared dense page metadata
     FaultBuffer fault_buffer_;
     PcieLink pcie_;
@@ -212,7 +270,7 @@ class UvmRuntime
     std::uint64_t demand_pages_ = 0;
     std::uint64_t prefetched_pages_ = 0;
 
-    AdviceFn advice_cb_;
+    std::vector<AdviceFn> advice_cbs_;
     BatchEndFn batch_end_cb_;
     bool proactive_eviction_ = false;
     double proactive_target_ = 0.95;

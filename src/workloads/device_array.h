@@ -57,6 +57,25 @@ class DeviceAllocator
     const std::vector<Range> &ranges() const { return ranges_; }
     std::uint64_t pageBytes() const { return page_bytes_; }
 
+    /**
+     * Moves the bump pointer to @p base before anything is allocated,
+     * placing all subsequent allocations in [base + page, ...). Used by
+     * multi-tenant runs to give each tenant a disjoint VA slice. Keeps
+     * the one-page guard so vpn 0 relative to the slice stays unmapped.
+     */
+    void
+    rebase(VAddr base)
+    {
+        if (!ranges_.empty())
+            fatal("DeviceAllocator: rebase after allocation");
+        if (base % page_bytes_ != 0)
+            fatal("DeviceAllocator: rebase to unaligned base");
+        next_ = base + page_bytes_;
+    }
+
+    /** First unallocated virtual address (page aligned). */
+    VAddr watermark() const { return next_; }
+
     /** Total footprint in bytes, rounded up to whole pages. */
     std::uint64_t
     footprintBytes() const

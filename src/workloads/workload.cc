@@ -114,28 +114,6 @@ GraphWorkloadBase::buildGraph(WorkloadScale scale, std::uint64_t seed,
     source_ = best;
 }
 
-const std::vector<std::string> &
-irregularWorkloadNames()
-{
-    static const std::vector<std::string> names =
-        WorkloadRegistry::instance().enumerate(WorkloadKind::Irregular);
-    return names;
-}
-
-const std::vector<std::string> &
-regularWorkloadNames()
-{
-    static const std::vector<std::string> names =
-        WorkloadRegistry::instance().enumerate(WorkloadKind::Regular);
-    return names;
-}
-
-std::unique_ptr<Workload>
-makeWorkload(const std::string &name)
-{
-    return WorkloadRegistry::instance().create(name);
-}
-
 void
 runFunctional(
     Workload &workload, std::uint64_t page_bytes,

@@ -65,20 +65,6 @@ class Workload
     DeviceAllocator alloc_;
 };
 
-/** Lists the 11 irregular workload names in the paper's Fig 11 order.
- *  @deprecated thin wrapper over
- *  WorkloadRegistry::enumerate(WorkloadKind::Irregular). */
-const std::vector<std::string> &irregularWorkloadNames();
-
-/** Lists the six regular workload names used by Fig 1.
- *  @deprecated thin wrapper over
- *  WorkloadRegistry::enumerate(WorkloadKind::Regular). */
-const std::vector<std::string> &regularWorkloadNames();
-
-/** Instantiates a workload by name; fatal() on unknown names.
- *  @deprecated thin wrapper over WorkloadRegistry::create(). */
-std::unique_ptr<Workload> makeWorkload(const std::string &name);
-
 /**
  * Runs a workload functionally (no timing): every kernel's warps are
  * executed round-robin at op granularity, which respects barriers and

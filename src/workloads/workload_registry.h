@@ -2,12 +2,11 @@
  * @file
  * WorkloadRegistry: the named-workload catalogue.
  *
- * Replaces the stringly-typed factory dispatch that used to live in
- * makeWorkload(): every workload is registered once, under its figure
- * name, with a factory closure, and lookup/enumeration go through one
- * table. The legacy free functions (makeWorkload(),
- * irregularWorkloadNames(), regularWorkloadNames()) survive as thin
- * deprecated wrappers over this registry.
+ * The one public way to instantiate or enumerate workloads by name:
+ * every workload is registered once, under its figure name, with a
+ * factory closure, and lookup/enumeration go through one table (the
+ * per-family registration hooks in workload_factories.h are internal
+ * to src/workloads).
  */
 
 #ifndef BAUVM_WORKLOADS_WORKLOAD_REGISTRY_H_

@@ -9,6 +9,7 @@
 
 #include "src/core/presets.h"
 #include "src/core/system.h"
+#include "src/workloads/workload_registry.h"
 
 namespace bauvm
 {
@@ -25,7 +26,7 @@ struct DispatcherProbe {
     RunResult
     run(const std::string &name)
     {
-        workload = makeWorkload(name);
+        workload = WorkloadRegistry::instance().create(name);
         RunResult r = system.run(*workload,
                                  WorkloadScale::Tiny);
         workload->validate();
@@ -68,7 +69,7 @@ TEST(BlockDispatcher, DisabledSmsGetNoWork)
 {
     SimConfig config = paperConfig(0.0);
     config.uvm.preload = true;
-    auto workload = makeWorkload("PR");
+    auto workload = WorkloadRegistry::instance().create("PR");
     GpuUvmSystem system(config);
     // Disable the upper half before the run starts.
     for (std::uint32_t s = 8; s < 16; ++s)
@@ -87,7 +88,7 @@ TEST(BlockDispatcher, ThrottledRunIsSlower)
     auto run_with_sms = [](std::uint32_t enabled) {
         SimConfig config = paperConfig(0.0);
         config.uvm.preload = true;
-        auto workload = makeWorkload("PR");
+        auto workload = WorkloadRegistry::instance().create("PR");
         GpuUvmSystem system(config);
         for (std::uint32_t s = enabled; s < 16; ++s)
             system.gpu().dispatcher().setSmEnabled(s, false);

@@ -633,19 +633,23 @@ TEST(BenchArgsAudit, UnknownFlagPrintsUsageAndFails)
 
 // ---- workload registry ---------------------------------------------
 
-TEST(WorkloadRegistryApi, EnumerateMatchesLegacyLists)
+TEST(WorkloadRegistryApi, EnumerationIsKindPartitioned)
 {
     WorkloadRegistry &reg = WorkloadRegistry::instance();
-    EXPECT_EQ(reg.enumerate(WorkloadKind::Irregular),
-              irregularWorkloadNames());
-    EXPECT_EQ(reg.enumerate(WorkloadKind::Regular),
-              regularWorkloadNames());
+    // Fig 11 registration order for the paper's irregular suite.
+    const std::vector<std::string> irregular =
+        reg.enumerate(WorkloadKind::Irregular);
+    ASSERT_FALSE(irregular.empty());
+    EXPECT_EQ(irregular.front(), "BC");
+    const std::vector<std::string> regular =
+        reg.enumerate(WorkloadKind::Regular);
+    ASSERT_FALSE(regular.empty());
     const std::vector<std::string> frontier = {"BFS-HYB", "CC", "TC",
                                                "KTRUSS"};
     EXPECT_EQ(reg.enumerate(WorkloadKind::Frontier), frontier);
-    EXPECT_EQ(reg.enumerate().size(),
-              irregularWorkloadNames().size() +
-                  regularWorkloadNames().size() + frontier.size());
+    EXPECT_EQ(reg.enumerate().size(), irregular.size() +
+                                          regular.size() +
+                                          frontier.size());
 }
 
 TEST(WorkloadRegistryApi, CreateProducesTheNamedWorkload)
@@ -731,7 +735,7 @@ TEST(Fig11Audit, AuditedMatrixPrintsByteIdenticalOutput)
     auto runSweep = [](bool audited) {
         SweepSpec spec;
         spec.bench = "fig11_audit_test";
-        spec.workloads = irregularWorkloadNames();
+        spec.workloads = WorkloadRegistry::instance().enumerate(WorkloadKind::Irregular);
         spec.policies = allPolicies();
         spec.opt.scale = WorkloadScale::Small;
         spec.opt.audit = audited;
@@ -746,9 +750,9 @@ TEST(Fig11Audit, AuditedMatrixPrintsByteIdenticalOutput)
     ASSERT_EQ(audited.failedCells(), 0u);
 
     const std::string plain_text =
-        fig11Text(plain, irregularWorkloadNames(), allPolicies());
+        fig11Text(plain, WorkloadRegistry::instance().enumerate(WorkloadKind::Irregular), allPolicies());
     const std::string audited_text =
-        fig11Text(audited, irregularWorkloadNames(), allPolicies());
+        fig11Text(audited, WorkloadRegistry::instance().enumerate(WorkloadKind::Irregular), allPolicies());
     EXPECT_EQ(plain_text, audited_text);
 }
 

@@ -9,6 +9,7 @@
 #include "src/core/presets.h"
 #include "src/core/system.h"
 #include "src/etc/etc_framework.h"
+#include "src/workloads/workload_registry.h"
 
 namespace bauvm
 {
@@ -20,10 +21,10 @@ TEST(Etc, CapacityCompressionGrowsEffectiveMemory)
     SimConfig plain = paperConfig(0.5);
     SimConfig etc = applyPolicy(paperConfig(0.5), Policy::Etc);
 
-    auto wl_a = makeWorkload("PR");
+    auto wl_a = WorkloadRegistry::instance().create("PR");
     GpuUvmSystem sys_a(plain);
     sys_a.run(*wl_a, WorkloadScale::Tiny);
-    auto wl_b = makeWorkload("PR");
+    auto wl_b = WorkloadRegistry::instance().create("PR");
     GpuUvmSystem sys_b(etc);
     sys_b.run(*wl_b, WorkloadScale::Tiny);
 
@@ -49,7 +50,7 @@ TEST(Etc, CompressionChargesL2Latency)
 TEST(Etc, ThrottlingTriggersUnderOversubscription)
 {
     SimConfig config = applyPolicy(paperConfig(0.25), Policy::Etc);
-    auto workload = makeWorkload("BFS-TWC");
+    auto workload = WorkloadRegistry::instance().create("BFS-TWC");
     GpuUvmSystem system(config);
     system.run(*workload, WorkloadScale::Tiny);
     workload->validate();

@@ -156,7 +156,7 @@ TEST(FrontierReference, ComponentLabelsAreComponentMinima)
 
 TEST(HybridBfs, RunsBothDirectionsAndValidates)
 {
-    auto workload = makeWorkload("BFS-HYB");
+    auto workload = WorkloadRegistry::instance().create("BFS-HYB");
     workload->build(WorkloadScale::Tiny, /*seed=*/1);
     const std::vector<std::string> names =
         runCollectingKernelNames(*workload);
@@ -176,20 +176,20 @@ TEST(HybridBfs, RunsBothDirectionsAndValidates)
 
 TEST(FrontierWorkloads, KernelNamesCarryPhaseAndRound)
 {
-    auto cc = makeWorkload("CC");
+    auto cc = WorkloadRegistry::instance().create("CC");
     cc->build(WorkloadScale::Tiny, /*seed=*/1);
     const auto cc_names = runCollectingKernelNames(*cc);
     ASSERT_GE(cc_names.size(), 2u) << "CC must take multiple rounds";
     EXPECT_EQ(cc_names[0], "CC-round0");
 
-    auto kt = makeWorkload("KTRUSS");
+    auto kt = WorkloadRegistry::instance().create("KTRUSS");
     kt->build(WorkloadScale::Tiny, /*seed=*/1);
     const auto kt_names = runCollectingKernelNames(*kt);
     ASSERT_GE(kt_names.size(), 2u);
     EXPECT_EQ(kt_names[0], "KTRUSS-support-r0");
     EXPECT_EQ(kt_names[1], "KTRUSS-filter-r0");
 
-    auto tc = makeWorkload("TC");
+    auto tc = WorkloadRegistry::instance().create("TC");
     tc->build(WorkloadScale::Tiny, /*seed=*/1);
     const auto tc_names = runCollectingKernelNames(*tc);
     const std::vector<std::string> tc_expected = {"TC-count"};

@@ -268,13 +268,13 @@ TEST(GraphStreamWorkloadPath, ThresholdZeroStreamsEveryGraphWorkload)
     graphStreamConfig().stream_threshold_edges = 0;
     for (const std::string &name :
          WorkloadRegistry::instance().enumerate(WorkloadKind::Frontier)) {
-        auto streamed = makeWorkload(name);
+        auto streamed = WorkloadRegistry::instance().create(name);
         streamed->build(WorkloadScale::Tiny, /*seed=*/1);
         runFunctional(*streamed);
         streamed->validate();
 
         graphStreamConfig() = guard.saved; // in-core control build
-        auto in_core = makeWorkload(name);
+        auto in_core = WorkloadRegistry::instance().create(name);
         in_core->build(WorkloadScale::Tiny, /*seed=*/1);
         EXPECT_EQ(streamed->footprintBytes(), in_core->footprintBytes())
             << name;

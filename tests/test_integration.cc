@@ -15,6 +15,7 @@
 #include "src/core/report.h"
 #include "src/core/system.h"
 #include "src/runner/sweep_runner.h"
+#include "src/workloads/workload_registry.h"
 
 namespace bauvm
 {
@@ -243,7 +244,7 @@ TEST_P(PolicyInvariants, ResidencyNeverExceedsCapacity)
 {
     const auto &[workload_name, ratio] = GetParam();
     SimConfig config = paperConfig(ratio);
-    auto workload = makeWorkload(workload_name);
+    auto workload = WorkloadRegistry::instance().create(workload_name);
     GpuUvmSystem system(config);
     const RunResult r = system.run(*workload, WorkloadScale::Tiny);
     workload->validate();
@@ -293,7 +294,7 @@ TEST_P(AllWorkloadsSim, ToUeRunsAndValidates)
 
 INSTANTIATE_TEST_SUITE_P(
     Irregular, AllWorkloadsSim,
-    ::testing::ValuesIn(irregularWorkloadNames()),
+    ::testing::ValuesIn(WorkloadRegistry::instance().enumerate(WorkloadKind::Irregular)),
     [](const ::testing::TestParamInfo<std::string> &info) {
         std::string name = info.param;
         for (char &c : name) {

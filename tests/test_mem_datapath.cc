@@ -36,6 +36,7 @@
 #include "src/uvm/legacy_mem_path.h"
 #include "src/uvm/prefetcher.h"
 #include "src/uvm/uvm_runtime.h"
+#include "src/workloads/workload_registry.h"
 
 namespace bauvm
 {
@@ -221,7 +222,7 @@ TEST(TraceReplayDifferential, EvictionOrderMatchesLegacyReplay)
     config.trace.buffer_records = 1u << 22;
     ASSERT_EQ(config.uvm.root_chunk_pages, 1u);
 
-    auto workload = makeWorkload("BFS-TWC");
+    auto workload = WorkloadRegistry::instance().create("BFS-TWC");
     GpuUvmSystem system(config);
     const RunResult r = system.run(*workload, WorkloadScale::Tiny);
     const TraceSink *sink = system.trace();

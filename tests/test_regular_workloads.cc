@@ -13,6 +13,7 @@
 #include "src/core/presets.h"
 #include "src/core/system.h"
 #include "src/workloads/workload.h"
+#include "src/workloads/workload_registry.h"
 
 namespace bauvm
 {
@@ -28,7 +29,7 @@ TEST_P(RegularWorkloads, BlocksPartitionPages)
     // Each thread block must touch a disjoint-ish tile: across blocks,
     // a page may be shared only at tile boundaries, so the number of
     // pages shared by more than a handful of blocks must be zero.
-    auto workload = makeWorkload(GetParam());
+    auto workload = WorkloadRegistry::instance().create(GetParam());
     workload->build(WorkloadScale::Small, 1);
     std::map<PageNum, std::set<std::uint32_t>> owners;
     runFunctional(*workload, 64 * 1024,
@@ -55,7 +56,7 @@ TEST_P(RegularWorkloads, SimulatedRunValidates)
 
 INSTANTIATE_TEST_SUITE_P(
     Suite, RegularWorkloads,
-    ::testing::ValuesIn(regularWorkloadNames()));
+    ::testing::ValuesIn(WorkloadRegistry::instance().enumerate(WorkloadKind::Regular)));
 
 TEST(Fig1Property, IrregularSharesPagesMoreThanRegular)
 {
@@ -66,7 +67,7 @@ TEST(Fig1Property, IrregularSharesPagesMoreThanRegular)
     // meaningful (at Tiny its whole array fits in one 64 KB page), so
     // it runs at Small; the graph workload is fine at Tiny.
     auto shared_fraction = [](const std::string &name) {
-        auto workload = makeWorkload(name);
+        auto workload = WorkloadRegistry::instance().create(name);
         workload->build(name == "GM" ? WorkloadScale::Small
                                      : WorkloadScale::Tiny,
                         1);

@@ -179,7 +179,8 @@ TEST(SweepRunner, FailingJobIsCapturedWithoutAbortingTheSweep)
 {
     SweepSpec spec;
     spec.bench = "test";
-    // "NOPE" makes makeWorkload() fatal() inside the job; the runner
+    // "NOPE" makes WorkloadRegistry::create() fatal() inside the
+    // job; the runner
     // must capture it and still run the valid cell.
     spec.workloads = {"NOPE", "BFS-TTC"};
     spec.policies = {Policy::Baseline};
@@ -286,7 +287,7 @@ TEST(SweepResult, JsonExportCarriesSchemaAndCells)
     const SweepResult sweep = runner.run();
     const std::string json = sweep.toJson();
 
-    EXPECT_NE(json.find("\"schema\": \"bauvm.sweep/1.2\""),
+    EXPECT_NE(json.find("\"schema\": \"bauvm.sweep/1.3\""),
               std::string::npos);
     EXPECT_NE(json.find("\"bench\": \"test_export\""),
               std::string::npos);

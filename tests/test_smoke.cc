@@ -8,6 +8,7 @@
 
 #include "src/core/presets.h"
 #include "src/core/system.h"
+#include "src/workloads/workload_registry.h"
 
 namespace bauvm
 {
@@ -17,7 +18,7 @@ namespace
 TEST(Smoke, BfsTtcBaselineRunsAndValidates)
 {
     SimConfig config = paperConfig(/*memory_ratio=*/0.5);
-    auto workload = makeWorkload("BFS-TTC");
+    auto workload = WorkloadRegistry::instance().create("BFS-TTC");
     GpuUvmSystem system(config);
     const RunResult r = system.run(*workload, WorkloadScale::Tiny);
     workload->validate();
@@ -29,7 +30,7 @@ TEST(Smoke, BfsTtcBaselineRunsAndValidates)
 TEST(Smoke, BfsTtcUnlimitedMemoryNeverEvicts)
 {
     SimConfig config = paperConfig(0.0); // unlimited
-    auto workload = makeWorkload("BFS-TTC");
+    auto workload = WorkloadRegistry::instance().create("BFS-TTC");
     GpuUvmSystem system(config);
     const RunResult r = system.run(*workload, WorkloadScale::Tiny);
     workload->validate();

@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Multi-tenant GPU tests: VA-slice directory, seeded fault-storm
+ * fairness under the three share policies, determinism of tenant-mix
+ * sweeps across worker counts, and the tenant extensions of the cell
+ * content address and JSON codecs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/presets.h"
+#include "src/core/system.h"
+#include "src/core/tenant.h"
+#include "src/graph/graph_cache.h"
+#include "src/mem/tenant_directory.h"
+#include "src/runner/cell_spec.h"
+#include "src/runner/job.h"
+#include "src/runner/sweep_runner.h"
+#include "src/serve/cell_json.h"
+#include "src/serve/json.h"
+#include "src/sim/log.h"
+
+namespace bauvm
+{
+namespace
+{
+
+SimConfig
+mixConfig(double ratio, SharePolicy policy, bool audit = true)
+{
+    SimConfig config = paperConfig(ratio, /*seed=*/1);
+    config.mt.policy = policy;
+    config.check.enabled = audit;
+    return config;
+}
+
+std::vector<TenantSpec>
+twoTenants(double quota_a = 0.5, double quota_b = 0.5)
+{
+    return {{"BFS-HYB", quota_a, WorkloadScale::Tiny},
+            {"PR", quota_b, WorkloadScale::Tiny}};
+}
+
+// ---- tenant directory ----------------------------------------------
+
+TEST(TenantDirectory, MapsPagesToOwnersAndRejectsOutsiders)
+{
+    TenantDirectory dir(SharePolicy::StrictQuota);
+    dir.add({0, "A", 1, /*first_vpn=*/0, /*end_vpn=*/64, 32, 0.5, 40});
+    dir.add({1, "B", 2, /*first_vpn=*/64, /*end_vpn=*/96, 16, 0.5, 20});
+    EXPECT_EQ(dir.size(), 2u);
+    EXPECT_EQ(dir.policy(), SharePolicy::StrictQuota);
+    EXPECT_EQ(dir.tenantOf(0), 0);
+    EXPECT_EQ(dir.tenantOf(63), 0);
+    EXPECT_EQ(dir.tenantOf(64), 1);
+    EXPECT_EQ(dir.tenantOf(95), 1);
+    EXPECT_EQ(dir.tenantOf(96), kNoTenant);
+    EXPECT_EQ(dir.context(1).workload, "B");
+}
+
+TEST(TenantSeed, DerivationIsStableNonZeroAndDistinct)
+{
+    const std::uint64_t a = deriveTenantSeed(1, 0);
+    const std::uint64_t b = deriveTenantSeed(1, 1);
+    EXPECT_NE(a, 0u);
+    EXPECT_NE(b, 0u);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a, deriveTenantSeed(1, 0)); // pure function
+    EXPECT_NE(deriveTenantSeed(2, 0), a);
+}
+
+TEST(TenantSeed, SharePolicyNamesRoundTrip)
+{
+    for (SharePolicy p :
+         {SharePolicy::FreeForAll, SharePolicy::StrictQuota,
+          SharePolicy::Proportional}) {
+        EXPECT_EQ(sharePolicyFromName(sharePolicyName(p)), p);
+    }
+    EXPECT_EQ(tenantMixLabel(twoTenants()), "BFS-HYB+PR");
+}
+
+// ---- fault-storm fairness ------------------------------------------
+
+TEST(MultiTenant, StrictQuotasAreNeverExceeded)
+{
+    GraphBuildCache::Scope graph_scope;
+    // Audited: the ModelAuditor's "tenant-quota" invariant panics the
+    // run if a strict tenant ever holds more frames than its cap.
+    const RunResult r = runTenantMix(
+        mixConfig(0.4, SharePolicy::StrictQuota), twoTenants(),
+        /*validate=*/true);
+    ASSERT_EQ(r.tenants.size(), 2u);
+    EXPECT_EQ(r.workload, "BFS-HYB+PR");
+    for (const TenantResult &t : r.tenants) {
+        EXPECT_GT(t.cycles, 0u);
+        EXPECT_GT(t.kernels, 0u);
+        EXPECT_GT(t.demand_pages, 0u);
+        EXPECT_LE(t.peak_resident_pages, t.quota_pages)
+            << t.workload << " exceeded its strict quota";
+    }
+    // Contended enough that arbitration actually happened.
+    EXPECT_GT(r.evictions, 0u);
+}
+
+TEST(MultiTenant, StrictTenantsOnlyEvictThemselves)
+{
+    GraphBuildCache::Scope graph_scope;
+    const RunResult r = runTenantMix(
+        mixConfig(0.4, SharePolicy::StrictQuota), twoTenants());
+    ASSERT_EQ(r.tenants.size(), 2u);
+    // Under strict quotas every eviction a tenant causes removes one
+    // of its own pages, so caused == suffered per tenant.
+    for (const TenantResult &t : r.tenants)
+        EXPECT_EQ(t.evictions_caused, t.evictions_suffered)
+            << t.workload;
+}
+
+TEST(MultiTenant, ProportionalFavorsTheHeavierWeight)
+{
+    GraphBuildCache::Scope graph_scope;
+    // Same workload twice so demand is symmetric; only the weights
+    // differ. The heavier tenant must keep at least as many frames.
+    const std::vector<TenantSpec> tenants = {
+        {"PR", 0.75, WorkloadScale::Tiny},
+        {"PR", 0.25, WorkloadScale::Tiny}};
+    const RunResult r = runTenantMix(
+        mixConfig(0.4, SharePolicy::Proportional), tenants);
+    ASSERT_EQ(r.tenants.size(), 2u);
+    EXPECT_GE(r.tenants[0].peak_resident_pages,
+              r.tenants[1].peak_resident_pages);
+    EXPECT_GE(r.tenants[1].evictions_suffered,
+              r.tenants[0].evictions_suffered);
+}
+
+TEST(MultiTenant, StarvedStrictTenantStillCompletes)
+{
+    GraphBuildCache::Scope graph_scope;
+    // A 90/10 split leaves tenant 1 a sliver of memory. Strict quotas
+    // must degrade it, not deadlock it: runTenantMix panics if any
+    // tenant is unfinished when the event queue drains.
+    const RunResult r = runTenantMix(
+        mixConfig(0.4, SharePolicy::StrictQuota),
+        twoTenants(0.9, 0.1), /*validate=*/true);
+    ASSERT_EQ(r.tenants.size(), 2u);
+    EXPECT_GT(r.tenants[1].cycles, 0u);
+    EXPECT_LT(r.tenants[1].quota_pages, r.tenants[0].quota_pages);
+}
+
+TEST(MultiTenant, FreeForAllMatchesTenantlessAccounting)
+{
+    GraphBuildCache::Scope graph_scope;
+    const RunResult r = runTenantMix(
+        mixConfig(0.5, SharePolicy::FreeForAll), twoTenants());
+    ASSERT_EQ(r.tenants.size(), 2u);
+    // Every eviction has an owner, and per-tenant demand sums into
+    // the global counter (prefetches are unattributed).
+    std::uint64_t suffered = 0, demand = 0;
+    for (const TenantResult &t : r.tenants) {
+        suffered += t.evictions_suffered;
+        demand += t.demand_pages;
+    }
+    EXPECT_EQ(suffered, r.evictions);
+    EXPECT_EQ(demand, r.demand_pages);
+}
+
+// ---- determinism ----------------------------------------------------
+
+TEST(MultiTenant, MixRunsAreBitIdenticalAcrossRepeats)
+{
+    GraphBuildCache::Scope graph_scope;
+    const auto run = [] {
+        return runTenantMix(
+            mixConfig(0.4, SharePolicy::Proportional), twoTenants());
+    };
+    const RunResult a = run();
+    const RunResult b = run();
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.evictions, b.evictions);
+    EXPECT_EQ(a.instructions, b.instructions);
+    ASSERT_EQ(a.tenants.size(), b.tenants.size());
+    for (std::size_t i = 0; i < a.tenants.size(); ++i) {
+        EXPECT_EQ(a.tenants[i].cycles, b.tenants[i].cycles);
+        EXPECT_EQ(a.tenants[i].seed, b.tenants[i].seed);
+        EXPECT_EQ(a.tenants[i].demand_pages,
+                  b.tenants[i].demand_pages);
+        EXPECT_EQ(a.tenants[i].evictions_suffered,
+                  b.tenants[i].evictions_suffered);
+    }
+}
+
+TEST(MultiTenant, AuditedTenantSweepIsIdenticalSerialVsSharded)
+{
+    GraphBuildCache::Scope graph_scope;
+    const auto sweep = [](std::size_t jobs) {
+        SweepSpec spec;
+        spec.bench = "mt_determinism";
+        spec.workloads = {"BFS-HYB+PR"}; // label only
+        spec.policies = {Policy::Baseline, Policy::Ue};
+        spec.opt.scale = WorkloadScale::Tiny;
+        spec.opt.ratio = 0.4;
+        spec.opt.jobs = jobs;
+        spec.opt.audit = true;
+        spec.opt.tenants = {{"BFS-HYB", 0.5, WorkloadScale::Tiny},
+                            {"PR", 0.5, WorkloadScale::Tiny}};
+        spec.opt.share_policy = SharePolicy::StrictQuota;
+        spec.verbose = false;
+        SweepRunner runner(std::move(spec));
+        return runner.run();
+    };
+    const SweepResult serial = sweep(1);
+    const SweepResult sharded = sweep(2);
+    ASSERT_EQ(serial.failedCells(), 0u);
+    ASSERT_EQ(sharded.failedCells(), 0u);
+    ASSERT_EQ(serial.cells.size(), sharded.cells.size());
+    for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+        const CellOutcome &a = serial.cells[i];
+        const CellOutcome &b = sharded.cells[i];
+        EXPECT_EQ(a.digest, b.digest);
+        EXPECT_EQ(a.result.cycles, b.result.cycles);
+        ASSERT_EQ(a.result.tenants.size(), b.result.tenants.size());
+        for (std::size_t t = 0; t < a.result.tenants.size(); ++t) {
+            EXPECT_EQ(a.result.tenants[t].cycles,
+                      b.result.tenants[t].cycles);
+            EXPECT_EQ(a.result.tenants[t].slowdown,
+                      b.result.tenants[t].slowdown);
+            EXPECT_EQ(a.result.tenants[t].evictions_caused,
+                      b.result.tenants[t].evictions_caused);
+        }
+    }
+}
+
+// ---- content address and codecs ------------------------------------
+
+TEST(MultiTenant, TenantMixGetsItsOwnContentAddress)
+{
+    const SimConfig config = mixConfig(0.5, SharePolicy::FreeForAll,
+                                       /*audit=*/false);
+    const std::string solo = cellKey("BFS-HYB+PR",
+                                     WorkloadScale::Tiny, config,
+                                     "rev");
+    const std::string mixed = cellKey("BFS-HYB+PR",
+                                      WorkloadScale::Tiny, config,
+                                      "rev", twoTenants());
+    EXPECT_NE(solo, mixed);
+    EXPECT_NE(cellKey("BFS-HYB+PR", WorkloadScale::Tiny, config,
+                      "rev", twoTenants(0.75, 0.25)),
+              mixed); // quotas are part of the address
+    EXPECT_EQ(solo.rfind("bauvm.cell/3|", 0), 0u);
+}
+
+TEST(MultiTenant, MtPolicyIsADeclarativeKnob)
+{
+    SimConfig config;
+    ASSERT_TRUE(applyConfigOverride(config, "mt.policy", 1.0));
+    EXPECT_EQ(config.mt.policy, SharePolicy::StrictQuota);
+    ASSERT_TRUE(applyConfigOverride(config, "mt.policy", 2.0));
+    EXPECT_EQ(config.mt.policy, SharePolicy::Proportional);
+    // ...and it is part of the canonical config string.
+    const std::string canon = canonicalConfigString(config);
+    EXPECT_NE(canon.find("mt.policy=2;"), std::string::npos);
+}
+
+TEST(MultiTenant, CellSpecTenantsRoundTripThroughJson)
+{
+    CellSpec spec;
+    spec.workload = "BFS-HYB+PR";
+    spec.scale = WorkloadScale::Tiny;
+    spec.tenants = twoTenants(0.7, 0.3);
+
+    JsonWriter w(/*pretty=*/false);
+    writeCellSpec(w, spec);
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(JsonValue::parse(w.str(), &doc, &error)) << error;
+    CellSpec parsed;
+    ASSERT_TRUE(parseCellSpec(doc, &parsed, &error)) << error;
+    ASSERT_EQ(parsed.tenants.size(), 2u);
+    EXPECT_EQ(parsed.tenants[0].workload, "BFS-HYB");
+    EXPECT_DOUBLE_EQ(parsed.tenants[0].quota, 0.7);
+    EXPECT_EQ(parsed.tenants[1].workload, "PR");
+    EXPECT_EQ(parsed.tenants[0].scale, WorkloadScale::Tiny);
+}
+
+TEST(MultiTenant, TenantResultsRoundTripThroughCellJson)
+{
+    GraphBuildCache::Scope graph_scope;
+    CellExecArgs args;
+    args.workload = "BFS-HYB+PR";
+    args.scale = WorkloadScale::Tiny;
+    args.config = mixConfig(0.4, SharePolicy::StrictQuota,
+                            /*audit=*/false);
+    args.tenants = twoTenants();
+    const CellOutcome out = executeCell(args);
+    ASSERT_TRUE(out.ok) << out.error;
+    ASSERT_EQ(out.result.tenants.size(), 2u);
+    EXPECT_GT(out.result.tenants[0].slowdown, 0.0);
+
+    JsonWriter w(/*pretty=*/false);
+    writeCellJson(w, out);
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(JsonValue::parse(w.str(), &doc, &error)) << error;
+    CellOutcome parsed;
+    ASSERT_TRUE(parseCellOutcome(doc, &parsed, &error)) << error;
+    ASSERT_EQ(parsed.result.tenants.size(), 2u);
+    for (std::size_t i = 0; i < 2; ++i) {
+        const TenantResult &a = out.result.tenants[i];
+        const TenantResult &b = parsed.result.tenants[i];
+        EXPECT_EQ(a.workload, b.workload);
+        EXPECT_EQ(a.cycles, b.cycles);
+        EXPECT_EQ(a.quota_pages, b.quota_pages);
+        EXPECT_EQ(a.evictions_caused, b.evictions_caused);
+        EXPECT_EQ(a.evictions_suffered, b.evictions_suffered);
+        EXPECT_EQ(a.peak_resident_pages, b.peak_resident_pages);
+        EXPECT_DOUBLE_EQ(a.slowdown, b.slowdown);
+    }
+}
+
+// ---- API guardrails -------------------------------------------------
+
+TEST(MultiTenant, RejectsUnsupportedConfigurations)
+{
+    const std::vector<TenantSpec> tenants = twoTenants();
+    {
+        SimConfig config = mixConfig(0.5, SharePolicy::FreeForAll,
+                                     /*audit=*/false);
+        config.etc.enabled = true;
+        EXPECT_THROW(
+            {
+                ScopedAbortCapture capture;
+                runTenantMix(config, tenants);
+            },
+            SimAbort);
+    }
+    {
+        SimConfig config = mixConfig(0.5, SharePolicy::FreeForAll,
+                                     /*audit=*/false);
+        config.memory_ratio = 0.0; // unlimited: nothing to arbitrate
+        EXPECT_THROW(
+            {
+                ScopedAbortCapture capture;
+                runTenantMix(config, tenants);
+            },
+            SimAbort);
+    }
+    {
+        EXPECT_THROW(
+            {
+                ScopedAbortCapture capture;
+                runTenantMix(mixConfig(0.5, SharePolicy::FreeForAll,
+                                       /*audit=*/false),
+                             {});
+            },
+            SimAbort);
+    }
+}
+
+} // namespace
+} // namespace bauvm

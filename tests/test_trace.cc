@@ -24,6 +24,7 @@
 #include "src/runner/sweep_runner.h"
 #include "src/trace/trace_export.h"
 #include "src/trace/trace_sink.h"
+#include "src/workloads/workload_registry.h"
 
 namespace bauvm
 {
@@ -137,7 +138,7 @@ runTraced(Policy policy, bool tracing, TraceSink **sink_out,
         paperConfig(0.5, deriveWorkloadSeed(1, "BFS-TWC"));
     config = applyPolicy(config, policy);
     config.trace.enabled = tracing;
-    auto workload = makeWorkload("BFS-TWC");
+    auto workload = WorkloadRegistry::instance().create("BFS-TWC");
     keep_alive.push_back(std::make_unique<GpuUvmSystem>(config));
     GpuUvmSystem &system = *keep_alive.back();
     const RunResult r = system.run(*workload, WorkloadScale::Tiny);

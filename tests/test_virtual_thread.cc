@@ -10,6 +10,7 @@
 #include "src/core/system.h"
 #include "src/gpu/occupancy.h"
 #include "src/gpu/virtual_thread.h"
+#include "src/workloads/workload_registry.h"
 
 namespace bauvm
 {
@@ -115,7 +116,7 @@ TEST(VirtualThread, ThrottleResetsGrowStreak)
 TEST(VirtualThreadSystem, ExtraBlocksAreDispatchedInactive)
 {
     SimConfig config = applyPolicy(paperConfig(0.5), Policy::To);
-    auto workload = makeWorkload("BFS-TWC");
+    auto workload = WorkloadRegistry::instance().create("BFS-TWC");
     GpuUvmSystem system(config);
     system.run(*workload, WorkloadScale::Tiny);
     workload->validate();

@@ -25,7 +25,7 @@ class WorkloadFunctional
 
 TEST_P(WorkloadFunctional, ConvergesAndValidates)
 {
-    auto workload = makeWorkload(GetParam());
+    auto workload = WorkloadRegistry::instance().create(GetParam());
     workload->build(WorkloadScale::Tiny, /*seed=*/1);
     runFunctional(*workload);
     workload->validate();
@@ -33,10 +33,10 @@ TEST_P(WorkloadFunctional, ConvergesAndValidates)
 
 TEST_P(WorkloadFunctional, DeterministicAcrossRebuilds)
 {
-    auto a = makeWorkload(GetParam());
+    auto a = WorkloadRegistry::instance().create(GetParam());
     a->build(WorkloadScale::Tiny, 7);
     runFunctional(*a);
-    auto b = makeWorkload(GetParam());
+    auto b = WorkloadRegistry::instance().create(GetParam());
     b->build(WorkloadScale::Tiny, 7);
     runFunctional(*b);
     EXPECT_EQ(a->footprintBytes(), b->footprintBytes());
@@ -44,7 +44,7 @@ TEST_P(WorkloadFunctional, DeterministicAcrossRebuilds)
 
 TEST_P(WorkloadFunctional, FootprintMatchesAllocations)
 {
-    auto workload = makeWorkload(GetParam());
+    auto workload = WorkloadRegistry::instance().create(GetParam());
     workload->build(WorkloadScale::Tiny, 1);
     std::uint64_t sum = 0;
     for (const auto &r : workload->allocator().ranges()) {
@@ -58,7 +58,7 @@ TEST_P(WorkloadFunctional, FootprintMatchesAllocations)
 
 TEST_P(WorkloadFunctional, PagesTouchedStayInsideAllocations)
 {
-    auto workload = makeWorkload(GetParam());
+    auto workload = WorkloadRegistry::instance().create(GetParam());
     workload->build(WorkloadScale::Tiny, 1);
     std::set<PageNum> valid;
     for (const auto &r : workload->allocator().ranges()) {
@@ -79,8 +79,8 @@ TEST_P(WorkloadFunctional, PagesTouchedStayInsideAllocations)
 std::vector<std::string>
 allWorkloadNames()
 {
-    std::vector<std::string> names = irregularWorkloadNames();
-    for (const auto &r : regularWorkloadNames())
+    std::vector<std::string> names = WorkloadRegistry::instance().enumerate(WorkloadKind::Irregular);
+    for (const auto &r : WorkloadRegistry::instance().enumerate(WorkloadKind::Regular))
         names.push_back(r);
     for (const auto &f : WorkloadRegistry::instance().enumerate(
              WorkloadKind::Frontier))
