@@ -30,7 +30,9 @@
 #include "src/sim/types.h"
 #include "src/uvm/fault_buffer.h"
 #include "src/uvm/gpu_memory_manager.h"
+#ifdef BAUVM_LEGACY_DIFFERENTIAL
 #include "src/uvm/legacy_mem_path.h"
+#endif // BAUVM_LEGACY_DIFFERENTIAL
 #include "src/uvm/prefetcher.h"
 
 namespace
@@ -75,11 +77,13 @@ drainBatch(FaultBuffer &fb, std::vector<FaultRecord> &out)
     fb.drainInto(out);
 }
 
+#ifdef BAUVM_LEGACY_DIFFERENTIAL
 void
 drainBatch(LegacyFaultBuffer &fb, std::vector<FaultRecord> &out)
 {
     out = fb.drain();
 }
+#endif // BAUVM_LEGACY_DIFFERENTIAL
 
 /**
  * The per-batch fault handling loop: insert a buffer's worth of faults
@@ -191,6 +195,7 @@ BM_MemPrefetchBatch(benchmark::State &state)
 }
 BENCHMARK(BM_MemPrefetchBatch);
 
+#ifdef BAUVM_LEGACY_DIFFERENTIAL
 void
 BM_LegacyMemPrefetchBatch(benchmark::State &state)
 {
@@ -208,6 +213,7 @@ BM_LegacyMemPrefetchBatch(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * faulted.size());
 }
 BENCHMARK(BM_LegacyMemPrefetchBatch);
+#endif // BAUVM_LEGACY_DIFFERENTIAL
 
 // ------------------------------------------------------- registration
 
@@ -218,12 +224,14 @@ BM_MemTranslate(benchmark::State &state)
 }
 BENCHMARK(BM_MemTranslate);
 
+#ifdef BAUVM_LEGACY_DIFFERENTIAL
 void
 BM_LegacyMemTranslate(benchmark::State &state)
 {
     memTranslate<LegacyPageTable>(state);
 }
 BENCHMARK(BM_LegacyMemTranslate);
+#endif // BAUVM_LEGACY_DIFFERENTIAL
 
 void
 BM_MemFaultPath(benchmark::State &state)
@@ -235,6 +243,7 @@ BM_MemFaultPath(benchmark::State &state)
 }
 BENCHMARK(BM_MemFaultPath);
 
+#ifdef BAUVM_LEGACY_DIFFERENTIAL
 void
 BM_LegacyMemFaultPath(benchmark::State &state)
 {
@@ -244,6 +253,7 @@ BM_LegacyMemFaultPath(benchmark::State &state)
     memFaultPath(state, mgr, fb);
 }
 BENCHMARK(BM_LegacyMemFaultPath);
+#endif // BAUVM_LEGACY_DIFFERENTIAL
 
 void
 BM_MemEvictChurn(benchmark::State &state)
@@ -255,6 +265,7 @@ BM_MemEvictChurn(benchmark::State &state)
 }
 BENCHMARK(BM_MemEvictChurn);
 
+#ifdef BAUVM_LEGACY_DIFFERENTIAL
 void
 BM_LegacyMemEvictChurn(benchmark::State &state)
 {
@@ -264,6 +275,7 @@ BM_LegacyMemEvictChurn(benchmark::State &state)
     memEvictChurn(state, mgr);
 }
 BENCHMARK(BM_LegacyMemEvictChurn);
+#endif // BAUVM_LEGACY_DIFFERENTIAL
 
 } // namespace
 

@@ -16,7 +16,9 @@
 #include "src/mem/page_table_walker.h"
 #include "src/mem/tlb.h"
 #include "src/sim/event_queue.h"
+#ifdef BAUVM_LEGACY_DIFFERENTIAL
 #include "src/sim/legacy_event_queue.h"
+#endif // BAUVM_LEGACY_DIFFERENTIAL
 #include "src/sim/rng.h"
 
 namespace
@@ -140,12 +142,14 @@ BM_EventQueueScheduleRun(benchmark::State &state)
 }
 BENCHMARK(BM_EventQueueScheduleRun);
 
+#ifdef BAUVM_LEGACY_DIFFERENTIAL
 void
 BM_LegacyEventQueueScheduleRun(benchmark::State &state)
 {
     eventQueueScheduleRun<LegacyEventQueue>(state);
 }
 BENCHMARK(BM_LegacyEventQueueScheduleRun);
+#endif // BAUVM_LEGACY_DIFFERENTIAL
 
 void
 BM_EventQueueShortDelay(benchmark::State &state)
@@ -154,12 +158,14 @@ BM_EventQueueShortDelay(benchmark::State &state)
 }
 BENCHMARK(BM_EventQueueShortDelay);
 
+#ifdef BAUVM_LEGACY_DIFFERENTIAL
 void
 BM_LegacyEventQueueShortDelay(benchmark::State &state)
 {
     eventQueueShortDelay<LegacyEventQueue>(state);
 }
 BENCHMARK(BM_LegacyEventQueueShortDelay);
+#endif // BAUVM_LEGACY_DIFFERENTIAL
 
 void
 BM_EventQueueCancelHeavy(benchmark::State &state)
@@ -168,12 +174,14 @@ BM_EventQueueCancelHeavy(benchmark::State &state)
 }
 BENCHMARK(BM_EventQueueCancelHeavy);
 
+#ifdef BAUVM_LEGACY_DIFFERENTIAL
 void
 BM_LegacyEventQueueCancelHeavy(benchmark::State &state)
 {
     eventQueueCancelHeavy<LegacyEventQueue>(state);
 }
 BENCHMARK(BM_LegacyEventQueueCancelHeavy);
+#endif // BAUVM_LEGACY_DIFFERENTIAL
 
 void
 BM_EventQueueMixedHorizon(benchmark::State &state)
@@ -182,12 +190,14 @@ BM_EventQueueMixedHorizon(benchmark::State &state)
 }
 BENCHMARK(BM_EventQueueMixedHorizon);
 
+#ifdef BAUVM_LEGACY_DIFFERENTIAL
 void
 BM_LegacyEventQueueMixedHorizon(benchmark::State &state)
 {
     eventQueueMixedHorizon<LegacyEventQueue>(state);
 }
 BENCHMARK(BM_LegacyEventQueueMixedHorizon);
+#endif // BAUVM_LEGACY_DIFFERENTIAL
 
 void
 BM_TlbLookup(benchmark::State &state)

@@ -60,15 +60,26 @@ def main():
 
     regressions = 0
     for shape in sorted(set(base) | set(fresh)):
+        # One-sided shapes still print their rate: an E2E shape that
+        # just joined (or left) the artifact must show its cells/sec
+        # in the summary table, not only its name.
         if shape not in fresh:
-            print(f"check_perf: {shape}: retired (baseline only)")
+            old, unit = base[shape]
+            scale = 1e6 if unit == "M/s" else 1.0
+            print(f"check_perf: {shape:<16} {old / scale:8.2f} {unit} "
+                  "(retired, baseline only)")
             continue
         if shape not in base:
-            print(f"check_perf: {shape}: new shape, no baseline")
+            new, unit = fresh[shape]
+            scale = 1e6 if unit == "M/s" else 1.0
+            print(f"check_perf: {shape:<16} {new / scale:8.2f} {unit} "
+                  "(new shape, no baseline)")
             continue
         old, unit = base[shape]
         new, _ = fresh[shape]
         if not old or not new:
+            print(f"check_perf: {shape:<16} unmeasurable "
+                  f"(baseline {old}, fresh {new})")
             continue
         scale = 1e6 if unit == "M/s" else 1.0
         delta = (new - old) / old

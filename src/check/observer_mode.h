@@ -1,0 +1,98 @@
+/**
+ * @file
+ * ObserverMode: compile-time observer selection for the hot path.
+ *
+ * SimHooks keeps runtime observers behind nullable pointers; that is
+ * the right shape for cold sites (block lifecycle, eviction policy,
+ * batch bookkeeping) but puts one predictable-yet-present branch on
+ * every fault, translation and cache access. The hot classes
+ * (MemoryHierarchyT, FaultBufferT, UvmRuntimeT, SmT) are therefore
+ * templated on an ObserverMode; emission sites are written as
+ *
+ *     if constexpr (observesTrace(M)) {
+ *         if (hooks_.trace) { ... }
+ *     }
+ *
+ * so the whole site — including the null check — compiles away in the
+ * modes that cannot observe it. GpuUvmSystem picks the mode once per
+ * cell from its SimConfig (trace/audit flags) and instantiates the
+ * matching specialization behind a thin construction-time seam
+ * (EngineBase); nothing dispatches on the mode per event.
+ *
+ * ObserverMode::Dynamic preserves the historical behaviour — every
+ * site compiled in, guarded by the runtime null check — and is the
+ * default for code that constructs components directly (unit tests,
+ * micro-benchmarks) via the un-suffixed aliases (MemoryHierarchy,
+ * UvmRuntime, Sm, FaultBuffer).
+ */
+
+#ifndef BAUVM_CHECK_OBSERVER_MODE_H_
+#define BAUVM_CHECK_OBSERVER_MODE_H_
+
+#include <cstdint>
+
+namespace bauvm
+{
+
+/** Which observers a specialized hot path can ever see attached. */
+enum class ObserverMode : std::uint8_t {
+    Dynamic, //!< decided at run time: all sites present, null-checked
+    None,    //!< no observers: every emission site is dead code
+    Trace,   //!< timeline tracing only
+    Audit,   //!< online model auditing only
+    Both,    //!< tracing and auditing
+};
+
+/** True when mode @p m can have a TraceSink attached. */
+constexpr bool
+observesTrace(ObserverMode m)
+{
+    return m == ObserverMode::Dynamic || m == ObserverMode::Trace ||
+           m == ObserverMode::Both;
+}
+
+/** True when mode @p m can have a ModelAuditor attached. */
+constexpr bool
+observesAudit(ObserverMode m)
+{
+    return m == ObserverMode::Dynamic || m == ObserverMode::Audit ||
+           m == ObserverMode::Both;
+}
+
+/** The specialized (never Dynamic) mode for a concrete observer set. */
+constexpr ObserverMode
+observerModeFor(bool trace, bool audit)
+{
+    if (trace && audit) {
+        return ObserverMode::Both;
+    }
+    if (trace) {
+        return ObserverMode::Trace;
+    }
+    if (audit) {
+        return ObserverMode::Audit;
+    }
+    return ObserverMode::None;
+}
+
+constexpr const char *
+observerModeName(ObserverMode m)
+{
+    switch (m) {
+    case ObserverMode::Dynamic:
+        return "dynamic";
+    case ObserverMode::None:
+        return "none";
+    case ObserverMode::Trace:
+        return "trace";
+    case ObserverMode::Audit:
+        return "audit";
+    case ObserverMode::Both:
+        return "both";
+    }
+    return "?";
+}
+
+} // namespace bauvm
+
+#endif // BAUVM_CHECK_OBSERVER_MODE_H_

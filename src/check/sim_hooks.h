@@ -17,6 +17,11 @@
  * Adding a future observer is now: add a pointer here, wire it in
  * GpuUvmSystem, and instrument the sites that care — no constructor or
  * setter churn anywhere else.
+ *
+ * The hot classes additionally template their event-path methods on an
+ * ObserverMode (src/check/observer_mode.h) so the per-site null checks
+ * compile away entirely in the modes that cannot observe them; SimHooks
+ * remains the single aggregate those specializations read from.
  */
 
 #ifndef BAUVM_CHECK_SIM_HOOKS_H_
@@ -38,9 +43,6 @@ struct SimHooks {
     /** Simulation clock for observers that need "now" at emission
      *  sites which do not already carry a cycle (prefetcher, VTC). */
     const EventQueue *clock = nullptr;
-
-    /** True when at least one observer is attached. */
-    bool any() const { return trace != nullptr || audit != nullptr; }
 };
 
 } // namespace bauvm

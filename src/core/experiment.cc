@@ -21,10 +21,15 @@ printBenchUsage(std::FILE *out)
     std::fprintf(
         out,
         "options: --scale tiny|small|medium|large|huge --ratio R "
-        "--seed N --csv --jobs N --json PATH --timeout S "
+        "--seed N --csv --jobs N --cell-threads N --json PATH "
+        "--timeout S "
         "--trace[=DIR] --audit --resume[=DIR] --workloads A,B,C\n"
         "  --jobs N     sweep worker threads "
         "(0 = hardware concurrency, default)\n"
+        "  --cell-threads N  host threads inside one cell: a multi-\n"
+        "               tenant cell runs its solo anchors and the mix\n"
+        "               as concurrent units, bit-identical to the\n"
+        "               serial run (default 1)\n"
         "  --json PATH  export sweep results as JSON "
         "('-' = stdout)\n"
         "  --timeout S  per-cell soft timeout in seconds\n"
@@ -104,6 +109,10 @@ parseBenchArgs(int argc, char **argv)
             opt.seed = next_u64("--seed");
         } else if (arg == "--jobs") {
             opt.jobs = next_u64("--jobs");
+        } else if (arg == "--cell-threads") {
+            opt.cell_threads = next_u64("--cell-threads");
+            if (opt.cell_threads == 0)
+                fatal("--cell-threads must be >= 1");
         } else if (arg == "--json") {
             opt.json_path = next("--json");
         } else if (arg == "--timeout") {

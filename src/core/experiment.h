@@ -34,6 +34,13 @@ struct BenchOptions {
     std::uint64_t seed = 1;
     /** Sweep worker threads; 0 = hardware_concurrency. */
     std::size_t jobs = 0;
+    /** Host threads *inside* one cell (--cell-threads): a multi-tenant
+     *  cell runs its per-tenant solo anchors and the mix itself as
+     *  concurrent units, merged in fixed unit order so the results are
+     *  bit-identical to the serial run. 1 = serial. Orthogonal to
+     *  `jobs`, which parallelizes *across* cells; deliberately not
+     *  part of the cell's content address (runner/cell_spec.h). */
+    std::size_t cell_threads = 1;
     /** Sweep JSON export path ("" = off, "-" = stdout). */
     std::string json_path;
     /** Per-cell soft timeout in seconds; 0 = disabled. */

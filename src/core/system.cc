@@ -21,31 +21,33 @@ GpuUvmSystem::GpuUvmSystem(const SimConfig &config)
                  : nullptr),
       hooks_{trace_.get(), audit_.get(), &events_},
       manager_(config.uvm, /*capacity: set after build*/ 0, hooks_),
-      hierarchy_(config.mem, config.gpu.num_sms, config.uvm.page_bytes,
-                 manager_.pageTable(), hooks_),
-      runtime_(config.uvm, events_, manager_, hierarchy_, hooks_)
+      engine_(makeEngine(config_, events_, manager_, hooks_))
 {
-    gpu_ = std::make_unique<Gpu>(config_, events_, hierarchy_, runtime_,
-                                 hooks_);
     if (config_.etc.enabled) {
         etc_ = std::make_unique<EtcFramework>(
-            config_.etc, EtcAppClass::Irregular, manager_, hierarchy_,
-            runtime_, gpu_->dispatcher(), config_.gpu.num_sms);
-        runtime_.setBatchEndCallback([this](const BatchRecord &) {
-            etc_->onBatchEnd(events_.now());
-        });
+            config_.etc, EtcAppClass::Irregular, manager_,
+            engine_->hierarchy(), engine_->runtime(),
+            engine_->gpu().dispatcher(), config_.gpu.num_sms);
+        engine_->runtime().setBatchEndCallback(
+            [this](const BatchRecord &) {
+                etc_->onBatchEnd(events_.now());
+            });
     }
 }
 
 RunResult
 GpuUvmSystem::run(Workload &workload, WorkloadScale scale)
 {
+    UvmRuntimeBase &runtime = engine_->runtime();
+    MemoryHierarchyBase &hierarchy = engine_->hierarchy();
+    Gpu &gpu = engine_->gpu();
+
     workload.build(scale, config_.seed);
     if (audit_)
         audit_->setContext(workload.name());
 
     for (const auto &range : workload.allocator().ranges())
-        runtime_.registerAllocation(range.base, range.bytes);
+        runtime.registerAllocation(range.base, range.bytes);
 
     const std::uint64_t footprint_pages =
         workload.allocator().footprintPages();
@@ -90,11 +92,12 @@ GpuUvmSystem::run(Workload &workload, WorkloadScale scale)
     const auto wall_begin = std::chrono::steady_clock::now();
     KernelInfo kernel;
     while (workload.nextKernel(&kernel)) {
-        gpu_->runKernel(kernel);
+        gpu.runKernel(kernel);
         ++r.kernels;
     }
     r.cycles = events_.now() - begin;
     r.sim_events = events_.executedEvents() - events_begin;
+    r.event_order_digest = events_.orderDigest();
     r.host_wall_s = std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - wall_begin)
                         .count();
@@ -103,26 +106,26 @@ GpuUvmSystem::run(Workload &workload, WorkloadScale scale)
                                  r.host_wall_s
                            : 0.0;
 
-    r.instructions = gpu_->totalIssuedInstructions();
-    r.batches = runtime_.batches();
-    r.avg_batch_pages = runtime_.averageBatchPages();
-    r.avg_batch_time = runtime_.averageProcessingTime();
-    r.avg_handling_time = runtime_.averageHandlingTime();
-    r.demand_pages = runtime_.demandFaultPages();
-    r.prefetched_pages = runtime_.prefetchedPages();
-    r.batch_records = runtime_.batchRecords();
+    r.instructions = gpu.totalIssuedInstructions();
+    r.batches = runtime.batches();
+    r.avg_batch_pages = runtime.averageBatchPages();
+    r.avg_batch_time = runtime.averageProcessingTime();
+    r.avg_handling_time = runtime.averageHandlingTime();
+    r.demand_pages = runtime.demandFaultPages();
+    r.prefetched_pages = runtime.prefetchedPages();
+    r.batch_records = runtime.batchRecords();
     r.migrations = manager_.migrations();
     r.evictions = manager_.evictions();
     r.premature_evictions = manager_.prematureEvictions();
     r.premature_rate = manager_.prematureEvictionRate();
-    r.context_switches = gpu_->vtc().contextSwitches();
-    r.context_switch_cycles = gpu_->vtc().switchCycles();
-    r.pcie_h2d_bytes = runtime_.pcie().bytesMoved(PcieDir::HostToDevice);
-    r.pcie_d2h_bytes = runtime_.pcie().bytesMoved(PcieDir::DeviceToHost);
-    r.translations = hierarchy_.accesses();
-    r.tlb_hit_rate = hierarchy_.tlbHitRate();
+    r.context_switches = gpu.vtc().contextSwitches();
+    r.context_switch_cycles = gpu.vtc().switchCycles();
+    r.pcie_h2d_bytes = runtime.pcie().bytesMoved(PcieDir::HostToDevice);
+    r.pcie_d2h_bytes = runtime.pcie().bytesMoved(PcieDir::DeviceToHost);
+    r.translations = hierarchy.accesses();
+    r.tlb_hit_rate = hierarchy.tlbHitRate();
     r.faults_per_kcycle =
-        r.cycles ? 1000.0 * static_cast<double>(hierarchy_.faults()) /
+        r.cycles ? 1000.0 * static_cast<double>(hierarchy.faults()) /
                        static_cast<double>(r.cycles)
                  : 0.0;
     if (audit_) {
@@ -162,6 +165,8 @@ struct TenantRun {
 RunResult
 GpuUvmSystem::run(const std::vector<TenantSpec> &specs)
 {
+    UvmRuntimeBase &runtime = engine_->runtime();
+
     if (specs.empty())
         fatal("GpuUvmSystem: empty tenant mix");
     if (config_.etc.enabled)
@@ -185,8 +190,7 @@ GpuUvmSystem::run(const std::vector<TenantSpec> &specs)
         config_.uvm.root_chunk_pages);
     tenant_dir_ = std::make_unique<TenantDirectory>(config_.mt.policy);
     tenant_workloads_.clear();
-    tenant_hierarchies_.clear();
-    tenant_gpus_.clear();
+    engine_->clearTenants();
 
     std::vector<TenantContext> contexts(n);
     PageNum next_page = 0;
@@ -208,7 +212,7 @@ GpuUvmSystem::run(const std::vector<TenantSpec> &specs)
         ctx.footprint_pages = workload->allocator().footprintPages();
         total_footprint_pages += ctx.footprint_pages;
         for (const auto &range : workload->allocator().ranges())
-            runtime_.registerAllocation(range.base, range.bytes);
+            runtime.registerAllocation(range.base, range.bytes);
         tenant_workloads_.push_back(std::move(workload));
     }
 
@@ -240,7 +244,7 @@ GpuUvmSystem::run(const std::vector<TenantSpec> &specs)
 
     // --- Wire tenancy through the stack.
     manager_.setTenantDirectory(tenant_dir_.get());
-    runtime_.setTenantDirectory(tenant_dir_.get());
+    runtime.setTenantDirectory(tenant_dir_.get());
     if (audit_) {
         audit_->setTenantDirectory(tenant_dir_.get());
         audit_->setContext(tenantMixLabel(specs));
@@ -250,24 +254,17 @@ GpuUvmSystem::run(const std::vector<TenantSpec> &specs)
     // GPU front end and cache/TLB hierarchy, all on the shared event
     // queue, runtime and memory manager. The default gpu_'s advice
     // sink is dropped; each tenant GPU registers its own.
-    runtime_.clearAdviceCallbacks();
-    std::vector<MemoryHierarchy *> routes(n, nullptr);
+    runtime.clearAdviceCallbacks();
     const std::uint32_t base_sms = config_.gpu.num_sms / n;
     const std::uint32_t extra_sms = config_.gpu.num_sms % n;
     std::uint32_t track_base = 0;
     for (std::uint32_t i = 0; i < n; ++i) {
         SimConfig tenant_config = config_;
         tenant_config.gpu.num_sms = base_sms + (i < extra_sms ? 1 : 0);
-        tenant_hierarchies_.push_back(std::make_unique<MemoryHierarchy>(
-            tenant_config.mem, tenant_config.gpu.num_sms, page,
-            manager_.pageTable(), hooks_));
-        routes[i] = tenant_hierarchies_.back().get();
-        tenant_gpus_.push_back(std::make_unique<Gpu>(
-            tenant_config, events_, *tenant_hierarchies_.back(),
-            runtime_, hooks_, track_base));
+        engine_->addTenant(tenant_config, page, track_base);
         track_base += tenant_config.gpu.num_sms;
     }
-    runtime_.setTenantHierarchies(std::move(routes));
+    engine_->wireTenantRouting();
 
     // --- Run every tenant's kernel chain on the shared queue. Each
     // tenant launches its next kernel from a zero-delay event (never
@@ -302,7 +299,7 @@ GpuUvmSystem::run(const std::vector<TenantSpec> &specs)
     const auto wall_begin = std::chrono::steady_clock::now();
     for (std::uint32_t i = 0; i < n; ++i) {
         runs[i].workload = tenant_workloads_[i].get();
-        runs[i].gpu = tenant_gpus_[i].get();
+        runs[i].gpu = &engine_->tenantGpu(i);
         launch_next(i);
     }
     events_.run();
@@ -316,6 +313,7 @@ GpuUvmSystem::run(const std::vector<TenantSpec> &specs)
 
     r.cycles = events_.now() - begin;
     r.sim_events = events_.executedEvents() - events_begin;
+    r.event_order_digest = events_.orderDigest();
     r.host_wall_s = std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - wall_begin)
                         .count();
@@ -325,36 +323,37 @@ GpuUvmSystem::run(const std::vector<TenantSpec> &specs)
                            : 0.0;
 
     for (std::uint32_t i = 0; i < n; ++i)
-        r.instructions += tenant_gpus_[i]->totalIssuedInstructions();
-    r.batches = runtime_.batches();
-    r.avg_batch_pages = runtime_.averageBatchPages();
-    r.avg_batch_time = runtime_.averageProcessingTime();
-    r.avg_handling_time = runtime_.averageHandlingTime();
-    r.demand_pages = runtime_.demandFaultPages();
-    r.prefetched_pages = runtime_.prefetchedPages();
-    r.batch_records = runtime_.batchRecords();
+        r.instructions += engine_->tenantGpu(i).totalIssuedInstructions();
+    r.batches = runtime.batches();
+    r.avg_batch_pages = runtime.averageBatchPages();
+    r.avg_batch_time = runtime.averageProcessingTime();
+    r.avg_handling_time = runtime.averageHandlingTime();
+    r.demand_pages = runtime.demandFaultPages();
+    r.prefetched_pages = runtime.prefetchedPages();
+    r.batch_records = runtime.batchRecords();
     r.migrations = manager_.migrations();
     r.evictions = manager_.evictions();
     r.premature_evictions = manager_.prematureEvictions();
     r.premature_rate = manager_.prematureEvictionRate();
     for (std::uint32_t i = 0; i < n; ++i) {
-        r.context_switches += tenant_gpus_[i]->vtc().contextSwitches();
+        r.context_switches +=
+            engine_->tenantGpu(i).vtc().contextSwitches();
         r.context_switch_cycles +=
-            tenant_gpus_[i]->vtc().switchCycles();
+            engine_->tenantGpu(i).vtc().switchCycles();
     }
-    r.pcie_h2d_bytes = runtime_.pcie().bytesMoved(PcieDir::HostToDevice);
-    r.pcie_d2h_bytes = runtime_.pcie().bytesMoved(PcieDir::DeviceToHost);
+    r.pcie_h2d_bytes = runtime.pcie().bytesMoved(PcieDir::HostToDevice);
+    r.pcie_d2h_bytes = runtime.pcie().bytesMoved(PcieDir::DeviceToHost);
     std::uint64_t hierarchy_faults = 0;
     for (std::uint32_t i = 0; i < n; ++i) {
-        r.translations += tenant_hierarchies_[i]->accesses();
-        hierarchy_faults += tenant_hierarchies_[i]->faults();
+        r.translations += engine_->tenantHierarchy(i).accesses();
+        hierarchy_faults += engine_->tenantHierarchy(i).faults();
     }
     {
         double hits = 0.0;
         for (std::uint32_t i = 0; i < n; ++i) {
-            hits += tenant_hierarchies_[i]->tlbHitRate() *
+            hits += engine_->tenantHierarchy(i).tlbHitRate() *
                     static_cast<double>(
-                        tenant_hierarchies_[i]->accesses());
+                        engine_->tenantHierarchy(i).accesses());
         }
         r.tlb_hit_rate = r.translations
                              ? hits / static_cast<double>(
@@ -375,10 +374,11 @@ GpuUvmSystem::run(const std::vector<TenantSpec> &specs)
         t.seed = contexts[i].seed;
         t.cycles = runs[i].done_cycle - begin;
         t.kernels = runs[i].kernels;
-        t.instructions = tenant_gpus_[i]->totalIssuedInstructions();
+        t.instructions =
+            engine_->tenantGpu(i).totalIssuedInstructions();
         t.footprint_bytes = tenant_workloads_[i]->footprintBytes();
         t.quota_pages = contexts[i].quota_pages;
-        t.demand_pages = runtime_.demandPagesOf(id);
+        t.demand_pages = runtime.demandPagesOf(id);
         t.evictions_caused = manager_.evictionsCausedBy(id);
         t.evictions_suffered = manager_.evictionsSufferedBy(id);
         t.peak_resident_pages = manager_.peakCommittedFramesOf(id);

@@ -15,6 +15,7 @@
 
 #include "src/check/model_auditor.h"
 #include "src/check/sim_hooks.h"
+#include "src/core/engine.h"
 #include "src/core/tenant.h"
 #include "src/etc/etc_framework.h"
 #include "src/gpu/gpu.h"
@@ -73,7 +74,12 @@ struct RunResult {
     // Simulator self-measurement. sim_events is deterministic (kernel
     // events dispatched for this run); host_wall_s / events_per_sec
     // are host-side wall clock and MUST stay out of determinism
-    // comparisons and printed figure tables.
+    // comparisons and printed figure tables. event_order_digest folds
+    // every dispatched event's (when, seq) pair into one value, so two
+    // runs agree on it iff they executed the same events in the same
+    // order — the byte-identity oracle the --cell-threads differential
+    // tests compare. Deterministic, but kept out of sweep JSON.
+    std::uint64_t event_order_digest = 0;
     std::uint64_t sim_events = 0;
     double host_wall_s = 0.0;
     double events_per_sec = 0.0;
@@ -122,12 +128,16 @@ class GpuUvmSystem
         return tenant_workloads_;
     }
 
-    // Component access for tests and custom experiments.
+    // Component access for tests and custom experiments. Hierarchy and
+    // runtime come back as base references: the system instantiated
+    // the observer-specialized variants behind the engine seam, and
+    // everything a caller reads or tweaks after construction lives on
+    // the mode-independent bases.
     EventQueue &events() { return events_; }
     GpuMemoryManager &memoryManager() { return manager_; }
-    MemoryHierarchy &hierarchy() { return hierarchy_; }
-    UvmRuntime &runtime() { return runtime_; }
-    Gpu &gpu() { return *gpu_; }
+    MemoryHierarchyBase &hierarchy() { return engine_->hierarchy(); }
+    UvmRuntimeBase &runtime() { return engine_->runtime(); }
+    Gpu &gpu() { return engine_->gpu(); }
     const SimConfig &config() const { return config_; }
 
     /** The run's trace sink, or nullptr when config.trace.enabled is
@@ -142,23 +152,22 @@ class GpuUvmSystem
     SimConfig config_;
     EventQueue events_;
     // Observers are built first so hooks_ can be handed to every
-    // component at construction (components keep it by value).
+    // component at construction (components keep it by value). The
+    // engine then instantiates the hierarchy/runtime/GPU bundle
+    // specialized for exactly the observers that exist — the one place
+    // an ObserverMode is chosen at runtime.
     std::unique_ptr<TraceSink> trace_;
     std::unique_ptr<ModelAuditor> audit_;
     SimHooks hooks_;
     GpuMemoryManager manager_;
-    MemoryHierarchy hierarchy_;
-    UvmRuntime runtime_;
-    std::unique_ptr<Gpu> gpu_;
+    std::unique_ptr<EngineBase> engine_;
     std::unique_ptr<EtcFramework> etc_;
 
     // Multi-tenant state (populated by run(specs) only). Tenant GPUs
-    // and hierarchies share events_/manager_/runtime_ but partition
-    // the SMs; the directory maps every page to its owner.
+    // and hierarchies live inside the engine (they must share its
+    // observer mode); the directory maps every page to its owner.
     std::unique_ptr<TenantDirectory> tenant_dir_;
     std::vector<std::unique_ptr<Workload>> tenant_workloads_;
-    std::vector<std::unique_ptr<MemoryHierarchy>> tenant_hierarchies_;
-    std::vector<std::unique_ptr<Gpu>> tenant_gpus_;
 };
 
 /**

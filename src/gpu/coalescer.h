@@ -8,9 +8,12 @@
 #ifndef BAUVM_GPU_COALESCER_H_
 #define BAUVM_GPU_COALESCER_H_
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "src/gpu/lane_vec.h"
 #include "src/sim/types.h"
 
 namespace bauvm
@@ -28,6 +31,27 @@ class Coalescer
      */
     std::vector<VAddr> coalesce(const std::vector<VAddr> &lane_addrs);
 
+    /**
+     * coalesce() into a caller-owned buffer (@p out is clear()ed
+     * first): reusing one scratch vector across instructions keeps the
+     * SM's issue loop allocation-free.
+     */
+    void coalesceInto(const VAddr *lane_addrs, std::size_t n,
+                      std::vector<VAddr> *out);
+
+    void
+    coalesceInto(const LaneVec &lane_addrs, std::vector<VAddr> *out)
+    {
+        coalesceInto(lane_addrs.data(), lane_addrs.size(), out);
+    }
+
+    void
+    coalesceInto(const std::vector<VAddr> &lane_addrs,
+                 std::vector<VAddr> *out)
+    {
+        coalesceInto(lane_addrs.data(), lane_addrs.size(), out);
+    }
+
     std::uint64_t memoryInstructions() const { return instructions_; }
     std::uint64_t transactions() const { return transactions_; }
 
@@ -42,6 +66,8 @@ class Coalescer
 
   private:
     std::uint32_t line_bytes_;
+    bool line_pow2_ = false;  //!< mask instead of modulo when pow2
+    VAddr line_mask_ = 0;
     std::uint64_t instructions_ = 0;
     std::uint64_t transactions_ = 0;
 };

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Small-buffer address list for warp memory operations.
+ *
+ * Every memory WarpOp carries the per-lane addresses of one coalesced
+ * access — at most a few per lane of a 32-wide warp. A std::vector
+ * heap-allocates each of those lists, which made the allocator the
+ * single largest cost outside the memory model (millions of
+ * malloc/free pairs per simulated kernel). LaneVec stores up to
+ * kInline addresses in place and only falls back to the heap for the
+ * rare oversized list, so building and yielding a memory op is
+ * allocation-free on the common path.
+ *
+ * Deliberately minimal: append-only growth plus the read API the SM
+ * and the workloads actually use. Moves transfer the heap block when
+ * one exists and otherwise copy the (small) live prefix.
+ */
+
+#ifndef BAUVM_GPU_LANE_VEC_H_
+#define BAUVM_GPU_LANE_VEC_H_
+
+#include <cstddef>
+#include <utility>
+
+#include "src/sim/types.h"
+
+namespace bauvm
+{
+
+/** Inline-storage vector of per-lane addresses (see file comment). */
+class LaneVec
+{
+  public:
+    /**
+     * Covers every shipped kernel's widest op (up to three addresses
+     * per lane of a 32-wide warp) without touching the heap.
+     */
+    static constexpr std::size_t kInline = 128;
+
+    LaneVec() = default;
+    ~LaneVec() { delete[] heap_; }
+
+    LaneVec(const LaneVec &o) { appendAll(o); }
+
+    LaneVec &
+    operator=(const LaneVec &o)
+    {
+        if (this != &o) {
+            size_ = 0;
+            appendAll(o);
+        }
+        return *this;
+    }
+
+    LaneVec(LaneVec &&o) noexcept { stealFrom(o); }
+
+    LaneVec &
+    operator=(LaneVec &&o) noexcept
+    {
+        if (this != &o) {
+            delete[] heap_;
+            heap_ = nullptr;
+            cap_ = kInline;
+            size_ = 0;
+            stealFrom(o);
+        }
+        return *this;
+    }
+
+    void
+    push_back(VAddr a)
+    {
+        if (size_ == cap_)
+            grow(cap_ * 2);
+        data()[size_++] = a;
+    }
+
+    void
+    reserve(std::size_t n)
+    {
+        if (n > cap_)
+            grow(n);
+    }
+
+    void clear() { size_ = 0; }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    VAddr *data() { return heap_ ? heap_ : inline_; }
+    const VAddr *data() const { return heap_ ? heap_ : inline_; }
+
+    VAddr operator[](std::size_t i) const { return data()[i]; }
+    VAddr &operator[](std::size_t i) { return data()[i]; }
+    VAddr back() const { return data()[size_ - 1]; }
+
+    const VAddr *begin() const { return data(); }
+    const VAddr *end() const { return data() + size_; }
+    VAddr *begin() { return data(); }
+    VAddr *end() { return data() + size_; }
+
+  private:
+    void
+    appendAll(const LaneVec &o)
+    {
+        reserve(o.size_);
+        VAddr *d = data();
+        const VAddr *s = o.data();
+        for (std::size_t i = 0; i < o.size_; ++i)
+            d[i] = s[i];
+        size_ = o.size_;
+    }
+
+    /** Move-construct body: @p o is left empty and inline. */
+    void
+    stealFrom(LaneVec &o) noexcept
+    {
+        if (o.heap_) {
+            heap_ = std::exchange(o.heap_, nullptr);
+            cap_ = std::exchange(o.cap_, kInline);
+            size_ = o.size_;
+        } else {
+            size_ = o.size_;
+            for (std::size_t i = 0; i < size_; ++i)
+                inline_[i] = o.inline_[i];
+        }
+        o.size_ = 0;
+    }
+
+    void
+    grow(std::size_t new_cap)
+    {
+        VAddr *block = new VAddr[new_cap];
+        const VAddr *s = data();
+        for (std::size_t i = 0; i < size_; ++i)
+            block[i] = s[i];
+        delete[] heap_;
+        heap_ = block;
+        cap_ = new_cap;
+    }
+
+    VAddr *heap_ = nullptr;
+    std::size_t size_ = 0;
+    std::size_t cap_ = kInline;
+    VAddr inline_[kInline];
+};
+
+} // namespace bauvm
+
+#endif // BAUVM_GPU_LANE_VEC_H_

@@ -1,26 +1,24 @@
 #include "src/gpu/sm.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "src/sim/log.h"
 
 namespace bauvm
 {
 
-Sm::Sm(std::uint32_t id, const GpuConfig &config, EventQueue &events,
-       MemoryHierarchy &hierarchy, UvmRuntime &runtime,
-       SmListener *listener, const SimHooks &hooks)
+SmBase::SmBase(std::uint32_t id, const GpuConfig &config,
+               EventQueue &events, SmListener *listener,
+               const SimHooks &hooks)
     : id_(id), track_(traceTrackSm(id)), config_(config),
-      events_(events), hierarchy_(hierarchy),
-      runtime_(runtime), listener_(listener),
+      events_(events), listener_(listener),
       coalescer_(128 /* L1 line */), hooks_(hooks)
 {
 }
 
 std::uint32_t
-Sm::addBlock(const KernelInfo *kernel, std::uint32_t block_id,
-             bool active)
+SmBase::addBlock(const KernelInfo *kernel, std::uint32_t block_id,
+                 bool active)
 {
     // Recycle a retired slot if one exists.
     std::uint32_t slot = static_cast<std::uint32_t>(blocks_.size());
@@ -67,7 +65,7 @@ Sm::addBlock(const KernelInfo *kernel, std::uint32_t block_id,
 }
 
 void
-Sm::activateBlock(std::uint32_t slot, Cycle delay)
+SmBase::activateBlock(std::uint32_t slot, Cycle delay)
 {
     Block &b = blocks_[slot];
     if (b.active || b.activating || b.finished)
@@ -95,7 +93,7 @@ Sm::activateBlock(std::uint32_t slot, Cycle delay)
 }
 
 void
-Sm::deactivateBlock(std::uint32_t slot)
+SmBase::deactivateBlock(std::uint32_t slot)
 {
     Block &b = blocks_[slot];
     if (!b.active)
@@ -110,7 +108,7 @@ Sm::deactivateBlock(std::uint32_t slot)
 }
 
 std::size_t
-Sm::residentBlocks() const
+SmBase::residentBlocks() const
 {
     std::size_t n = 0;
     for (const auto &b : blocks_)
@@ -119,7 +117,7 @@ Sm::residentBlocks() const
 }
 
 std::size_t
-Sm::activeBlocks() const
+SmBase::activeBlocks() const
 {
     std::size_t n = 0;
     for (const auto &b : blocks_)
@@ -129,25 +127,25 @@ Sm::activeBlocks() const
 }
 
 bool
-Sm::blockActive(std::uint32_t slot) const
+SmBase::blockActive(std::uint32_t slot) const
 {
     return blocks_[slot].active;
 }
 
 bool
-Sm::blockFinished(std::uint32_t slot) const
+SmBase::blockFinished(std::uint32_t slot) const
 {
     return blocks_[slot].finished;
 }
 
 bool
-Sm::blockStarted(std::uint32_t slot) const
+SmBase::blockStarted(std::uint32_t slot) const
 {
     return blocks_[slot].started;
 }
 
 bool
-Sm::switchInCandidate(std::uint32_t slot) const
+SmBase::switchInCandidate(std::uint32_t slot) const
 {
     const Block &b = blocks_[slot];
     if (!b.in_use || b.active || b.activating || b.finished)
@@ -160,7 +158,7 @@ Sm::switchInCandidate(std::uint32_t slot) const
 }
 
 bool
-Sm::blockFullyStalled(std::uint32_t slot) const
+SmBase::blockFullyStalled(std::uint32_t slot) const
 {
     const Block &b = blocks_[slot];
     if (!b.in_use || b.finished || b.liveWarps() == 0)
@@ -184,7 +182,7 @@ Sm::blockFullyStalled(std::uint32_t slot) const
 }
 
 std::vector<std::uint32_t>
-Sm::inactiveBlockSlots() const
+SmBase::inactiveBlockSlots() const
 {
     std::vector<std::uint32_t> out;
     for (std::uint32_t i = 0; i < blocks_.size(); ++i) {
@@ -196,7 +194,7 @@ Sm::inactiveBlockSlots() const
 }
 
 int
-Sm::firstFullyStalledActiveBlock() const
+SmBase::firstFullyStalledActiveBlock() const
 {
     for (std::uint32_t i = 0; i < blocks_.size(); ++i) {
         const Block &b = blocks_[i];
@@ -207,7 +205,7 @@ Sm::firstFullyStalledActiveBlock() const
 }
 
 void
-Sm::enqueueReady(std::uint32_t slot, std::uint32_t warp)
+SmBase::enqueueReady(std::uint32_t slot, std::uint32_t warp)
 {
     blocks_[slot].warps[warp].st = WarpStatus::Ready;
     ready_queue_.emplace_back(slot, warp);
@@ -215,7 +213,7 @@ Sm::enqueueReady(std::uint32_t slot, std::uint32_t warp)
 }
 
 void
-Sm::schedulePump()
+SmBase::schedulePump()
 {
     if (pump_scheduled_)
         return;
@@ -228,7 +226,38 @@ Sm::schedulePump()
 }
 
 void
-Sm::pump()
+SmBase::traceOccupancy()
+{
+    if (!hooks_.trace)
+        return;
+    hooks_.trace->counter(TraceEventType::SmOccupancy,
+                          track_, events_.now(),
+                          activeBlocks(),
+                          static_cast<std::uint32_t>(residentBlocks()));
+}
+
+void
+SmBase::checkBlockStalled(std::uint32_t slot)
+{
+    Block &b = blocks_[slot];
+    if (!b.active || b.finished || !listener_)
+        return;
+    if (blockFullyStalled(slot))
+        listener_->onBlockStalled(id_, slot);
+}
+
+template <ObserverMode M>
+SmT<M>::SmT(std::uint32_t id, const GpuConfig &config, EventQueue &events,
+            MemoryHierarchyT<M> &hierarchy, UvmRuntimeT<M> &runtime,
+            SmListener *listener, const SimHooks &hooks)
+    : SmBase(id, config, events, listener, hooks), hierarchy_(hierarchy),
+      runtime_(runtime)
+{
+}
+
+template <ObserverMode M>
+void
+SmT<M>::pump()
 {
     while (!ready_queue_.empty()) {
         auto [slot, warp] = ready_queue_.front();
@@ -247,8 +276,9 @@ Sm::pump()
     }
 }
 
+template <ObserverMode M>
 void
-Sm::processOp(std::uint32_t slot, std::uint32_t warp, Cycle issue)
+SmT<M>::processOp(std::uint32_t slot, std::uint32_t warp, Cycle issue)
 {
     Block &b = blocks_[slot];
     WarpState &ws = b.warps[warp];
@@ -299,29 +329,36 @@ Sm::processOp(std::uint32_t slot, std::uint32_t warp, Cycle issue)
     }
 }
 
+template <ObserverMode M>
 void
-Sm::execMemoryOp(std::uint32_t slot, std::uint32_t warp,
-                 const WarpOp &op, Cycle issue)
+SmT<M>::execMemoryOp(std::uint32_t slot, std::uint32_t warp,
+                     const WarpOp &op, Cycle issue)
 {
     Block &b = blocks_[slot];
     WarpState &ws = b.warps[warp];
     const bool write = op.kind != WarpOp::Kind::Load;
 
-    const std::vector<VAddr> lines = coalescer_.coalesce(op.addrs);
-    std::unordered_set<PageNum> fault_pages;
+    coalescer_.coalesceInto(op.addrs, &line_scratch_);
+    // Lines are ascending, so faulting pages come out nondecreasing:
+    // deduplicating needs only a tail compare, and the pages are
+    // registered with the runtime in ascending order.
+    fault_page_scratch_.clear();
     Cycle done = issue + 1 + config_.mem_op_overhead_cycles;
-    for (VAddr line : lines) {
+    for (VAddr line : line_scratch_) {
         const MemResult r = hierarchy_.access(id_, line, write, issue);
-        if (r.fault)
-            fault_pages.insert(r.vpn);
-        else
+        if (r.fault) {
+            if (fault_page_scratch_.empty() ||
+                fault_page_scratch_.back() != r.vpn)
+                fault_page_scratch_.push_back(r.vpn);
+        } else {
             done = std::max(done, r.done);
+        }
     }
 
     if (op.kind == WarpOp::Kind::Atomic)
         done += hierarchy_.atomicLatency();
 
-    if (fault_pages.empty()) {
+    if (fault_page_scratch_.empty()) {
         ws.st = WarpStatus::WaitOp;
         ws.waiting_mem = true;
         events_.scheduleAt(done, [this, slot, warp] {
@@ -337,16 +374,18 @@ Sm::execMemoryOp(std::uint32_t slot, std::uint32_t warp,
     ws.st = WarpStatus::WaitFault;
     ws.waiting_mem = false;
     ws.pending_faults =
-        static_cast<std::uint32_t>(fault_pages.size());
-    faults_raised_ += fault_pages.size();
+        static_cast<std::uint32_t>(fault_page_scratch_.size());
+    faults_raised_ += fault_page_scratch_.size();
     BAUVM_DLOG("Sm %u: warp %u of block %u faults on %zu pages at "
                "cycle %llu",
-               id_, warp, b.block_id, fault_pages.size(),
+               id_, warp, b.block_id, fault_page_scratch_.size(),
                static_cast<unsigned long long>(issue));
-    for (PageNum vpn : fault_pages) {
-        if (hooks_.trace) {
-            hooks_.trace->instant(TraceEventType::PageFault,
-                                  track_, issue, vpn, warp);
+    for (PageNum vpn : fault_page_scratch_) {
+        if constexpr (observesTrace(M)) {
+            if (hooks_.trace) {
+                hooks_.trace->instant(TraceEventType::PageFault,
+                                      track_, issue, vpn, warp);
+            }
         }
         runtime_.onPageFault(vpn, [this, slot, warp](Cycle) {
             onFaultResolved(slot, warp);
@@ -355,8 +394,9 @@ Sm::execMemoryOp(std::uint32_t slot, std::uint32_t warp,
     checkBlockStalled(slot);
 }
 
+template <ObserverMode M>
 void
-Sm::onOpComplete(std::uint32_t slot, std::uint32_t warp)
+SmT<M>::onOpComplete(std::uint32_t slot, std::uint32_t warp)
 {
     Block &b = blocks_[slot];
     WarpState &ws = b.warps[warp];
@@ -371,8 +411,9 @@ Sm::onOpComplete(std::uint32_t slot, std::uint32_t warp)
         listener_->onInactiveWarpReady(id_, slot);
 }
 
+template <ObserverMode M>
 void
-Sm::onFaultResolved(std::uint32_t slot, std::uint32_t warp)
+SmT<M>::onFaultResolved(std::uint32_t slot, std::uint32_t warp)
 {
     Block &b = blocks_[slot];
     WarpState &ws = b.warps[warp];
@@ -400,8 +441,9 @@ Sm::onFaultResolved(std::uint32_t slot, std::uint32_t warp)
         listener_->onInactiveWarpReady(id_, slot);
 }
 
+template <ObserverMode M>
 void
-Sm::finishWarp(std::uint32_t slot, std::uint32_t warp)
+SmT<M>::finishWarp(std::uint32_t slot, std::uint32_t warp)
 {
     Block &b = blocks_[slot];
     WarpState &ws = b.warps[warp];
@@ -411,10 +453,12 @@ Sm::finishWarp(std::uint32_t slot, std::uint32_t warp)
     if (b.liveWarps() == 0) {
         b.finished = true;
         b.active = false;
-        if (hooks_.trace) {
-            hooks_.trace->instant(TraceEventType::BlockFinish,
-                                  track_, events_.now(),
-                                  b.block_id, slot);
+        if constexpr (observesTrace(M)) {
+            if (hooks_.trace) {
+                hooks_.trace->instant(TraceEventType::BlockFinish,
+                                      track_, events_.now(),
+                                      b.block_id, slot);
+            }
         }
         traceOccupancy();
         if (listener_)
@@ -424,8 +468,9 @@ Sm::finishWarp(std::uint32_t slot, std::uint32_t warp)
     maybeReleaseBarrier(slot);
 }
 
+template <ObserverMode M>
 void
-Sm::maybeReleaseBarrier(std::uint32_t slot)
+SmT<M>::maybeReleaseBarrier(std::uint32_t slot)
 {
     Block &b = blocks_[slot];
     if (b.barrier_waiting == 0 || b.barrier_waiting < b.liveWarps())
@@ -442,25 +487,10 @@ Sm::maybeReleaseBarrier(std::uint32_t slot)
     }
 }
 
-void
-Sm::traceOccupancy()
-{
-    if (!hooks_.trace)
-        return;
-    hooks_.trace->counter(TraceEventType::SmOccupancy,
-                          track_, events_.now(),
-                          activeBlocks(),
-                          static_cast<std::uint32_t>(residentBlocks()));
-}
-
-void
-Sm::checkBlockStalled(std::uint32_t slot)
-{
-    Block &b = blocks_[slot];
-    if (!b.active || b.finished || !listener_)
-        return;
-    if (blockFullyStalled(slot))
-        listener_->onBlockStalled(id_, slot);
-}
+template class SmT<ObserverMode::Dynamic>;
+template class SmT<ObserverMode::None>;
+template class SmT<ObserverMode::Trace>;
+template class SmT<ObserverMode::Audit>;
+template class SmT<ObserverMode::Both>;
 
 } // namespace bauvm

@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/gpu/lane_vec.h"
 #include "src/sim/types.h"
 
 namespace bauvm
@@ -38,23 +39,50 @@ struct WarpOp {
     };
 
     Kind kind = Kind::Compute;
-    Cycle cycles = 1;          //!< Compute only
-    std::vector<VAddr> addrs;  //!< per-lane addresses (memory kinds)
+    Cycle cycles = 1;  //!< Compute only
+    LaneVec addrs;     //!< per-lane addresses (memory kinds)
 
     static WarpOp compute(Cycle c) { return WarpOp{Kind::Compute, c, {}}; }
-    static WarpOp load(std::vector<VAddr> a)
+    static WarpOp load(LaneVec a)
     {
         return WarpOp{Kind::Load, 0, std::move(a)};
     }
-    static WarpOp store(std::vector<VAddr> a)
+    static WarpOp store(LaneVec a)
     {
         return WarpOp{Kind::Store, 0, std::move(a)};
     }
-    static WarpOp atomic(std::vector<VAddr> a)
+    static WarpOp atomic(LaneVec a)
     {
         return WarpOp{Kind::Atomic, 0, std::move(a)};
     }
     static WarpOp sync() { return WarpOp{Kind::Sync, 0, {}}; }
+
+    /**
+     * Vector-accepting twins for external kernels written against the
+     * historical std::vector address lists (cold path: one copy).
+     */
+    static WarpOp load(const std::vector<VAddr> &a)
+    {
+        return WarpOp{Kind::Load, 0, fromVector(a)};
+    }
+    static WarpOp store(const std::vector<VAddr> &a)
+    {
+        return WarpOp{Kind::Store, 0, fromVector(a)};
+    }
+    static WarpOp atomic(const std::vector<VAddr> &a)
+    {
+        return WarpOp{Kind::Atomic, 0, fromVector(a)};
+    }
+
+    static LaneVec
+    fromVector(const std::vector<VAddr> &a)
+    {
+        LaneVec v;
+        v.reserve(a.size());
+        for (const VAddr addr : a)
+            v.push_back(addr);
+        return v;
+    }
 
     bool isMemory() const
     {
@@ -73,8 +101,7 @@ template <typename... Addrs>
 WarpOp
 loadOf(Addrs... addrs)
 {
-    std::vector<VAddr> v;
-    v.reserve(sizeof...(addrs));
+    LaneVec v;
     (v.push_back(addrs), ...);
     return WarpOp::load(std::move(v));
 }
@@ -83,8 +110,7 @@ template <typename... Addrs>
 WarpOp
 storeOf(Addrs... addrs)
 {
-    std::vector<VAddr> v;
-    v.reserve(sizeof...(addrs));
+    LaneVec v;
     (v.push_back(addrs), ...);
     return WarpOp::store(std::move(v));
 }

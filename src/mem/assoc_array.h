@@ -5,6 +5,12 @@
  * Shared by the caches, the TLBs, and the page-walk cache. Keys are
  * 64-bit tags supplied by the owner (which is responsible for folding in
  * any auxiliary bits such as page versions).
+ *
+ * Storage is structure-of-arrays: the way scan — the simulator's single
+ * hottest loop, entered once per cache/TLB access — walks a dense key
+ * array instead of striding over padded line structs, and set indexing
+ * uses a mask instead of a modulo when the set count is a power of two
+ * (it always is for the shipped geometries).
  */
 
 #ifndef BAUVM_MEM_ASSOC_ARRAY_H_
@@ -40,7 +46,11 @@ class AssocArray
             panic("AssocArray: entries %u not divisible by ways %u",
                   entries, ways_);
         sets_ = entries / ways_;
-        lines_.assign(entries, Line{});
+        sets_pow2_ = (sets_ & (sets_ - 1)) == 0;
+        set_mask_ = sets_ - 1;
+        valid_.assign(entries, 0);
+        keys_.assign(entries, 0);
+        last_use_.assign(entries, 0);
     }
 
     /**
@@ -50,10 +60,22 @@ class AssocArray
     bool
     lookup(std::uint64_t key)
     {
-        Line *line = find(key);
-        if (!line)
+        // MRU memo: consecutive lookups overwhelmingly repeat the last
+        // key (a warp's lines share one page), and for wide sets the
+        // way scan is the hottest loop in the simulator. The re-check
+        // makes staleness harmless — a valid slot holding key K can
+        // only be K's home slot, so a hit here is exact.
+        if (key == memo_key_ && memo_idx_ != kNone &&
+            keys_[memo_idx_] == key && valid_[memo_idx_]) {
+            last_use_[memo_idx_] = ++tick_;
+            return true;
+        }
+        const std::size_t i = find(key);
+        if (i == kNone)
             return false;
-        line->last_use = ++tick_;
+        memo_key_ = key;
+        memo_idx_ = i;
+        last_use_[i] = ++tick_;
         return true;
     }
 
@@ -61,13 +83,7 @@ class AssocArray
     bool
     probe(std::uint64_t key) const
     {
-        const std::size_t set = setOf(key);
-        for (std::size_t w = 0; w < ways_; ++w) {
-            const Line &l = lines_[set * ways_ + w];
-            if (l.valid && l.key == key)
-                return true;
-        }
-        return false;
+        return find(key) != kNone;
     }
 
     /**
@@ -80,27 +96,29 @@ class AssocArray
     bool
     insert(std::uint64_t key, std::uint64_t *evicted_key = nullptr)
     {
-        if (Line *hit = find(key)) {
-            hit->last_use = ++tick_;
+        const std::size_t hit = find(key);
+        if (hit != kNone) {
+            last_use_[hit] = ++tick_;
             return false;
         }
-        const std::size_t set = setOf(key);
-        Line *victim = nullptr;
-        for (std::size_t w = 0; w < ways_; ++w) {
-            Line &l = lines_[set * ways_ + w];
-            if (!l.valid) {
-                victim = &l;
+        const std::size_t base = setOf(key) * ways_;
+        std::size_t victim = kNone;
+        for (std::size_t i = base; i < base + ways_; ++i) {
+            if (!valid_[i]) {
+                victim = i;
                 break;
             }
-            if (!victim || l.last_use < victim->last_use)
-                victim = &l;
+            if (victim == kNone || last_use_[i] < last_use_[victim])
+                victim = i;
         }
-        const bool displaced = victim->valid;
+        const bool displaced = valid_[victim] != 0;
         if (displaced && evicted_key)
-            *evicted_key = victim->key;
-        victim->valid = true;
-        victim->key = key;
-        victim->last_use = ++tick_;
+            *evicted_key = keys_[victim];
+        valid_[victim] = 1;
+        keys_[victim] = key;
+        last_use_[victim] = ++tick_;
+        memo_key_ = key;
+        memo_idx_ = victim;
         return displaced;
     }
 
@@ -108,19 +126,19 @@ class AssocArray
     bool
     invalidate(std::uint64_t key)
     {
-        if (Line *line = find(key)) {
-            clearLine(*line);
-            return true;
-        }
-        return false;
+        const std::size_t i = find(key);
+        if (i == kNone)
+            return false;
+        clearLine(i);
+        return true;
     }
 
     /** Invalidates every entry. */
     void
     flush()
     {
-        for (auto &l : lines_)
-            clearLine(l);
+        for (std::size_t i = 0; i < keys_.size(); ++i)
+            clearLine(i);
     }
 
     /** Removes all entries for which @p pred(key) holds. @return count. */
@@ -129,9 +147,9 @@ class AssocArray
     invalidateIf(Pred pred)
     {
         std::size_t n = 0;
-        for (auto &l : lines_) {
-            if (l.valid && pred(l.key)) {
-                clearLine(l);
+        for (std::size_t i = 0; i < keys_.size(); ++i) {
+            if (valid_[i] && pred(keys_[i])) {
+                clearLine(i);
                 ++n;
             }
         }
@@ -152,8 +170,8 @@ class AssocArray
     LineView
     lineAt(std::size_t set, std::size_t way) const
     {
-        const Line &l = lines_[set * ways_ + way];
-        return LineView{l.valid, l.key, l.last_use};
+        const std::size_t i = set * ways_ + way;
+        return LineView{valid_[i] != 0, keys_[i], last_use_[i]};
     }
 
     /** Number of currently valid entries. */
@@ -161,19 +179,19 @@ class AssocArray
     validCount() const
     {
         std::size_t n = 0;
-        for (const auto &l : lines_)
-            n += l.valid ? 1 : 0;
+        for (const std::uint8_t v : valid_)
+            n += v ? 1 : 0;
         return n;
     }
 
   private:
-    struct Line {
-        bool valid = false;
-        std::uint64_t key = 0;
-        std::uint64_t last_use = 0;
-    };
+    static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 
-    std::size_t setOf(std::uint64_t key) const { return key % sets_; }
+    std::size_t
+    setOf(std::uint64_t key) const
+    {
+        return sets_pow2_ ? key & set_mask_ : key % sets_;
+    }
 
     /**
      * Fully clears an invalidated line. Resetting key/last_use (not
@@ -181,30 +199,37 @@ class AssocArray
      * forgets the valid check, and keeps an invalid line from biasing
      * LRU victim choice through a stale timestamp.
      */
-    static void
-    clearLine(Line &l)
+    void
+    clearLine(std::size_t i)
     {
-        l.valid = false;
-        l.key = 0;
-        l.last_use = 0;
+        valid_[i] = 0;
+        keys_[i] = 0;
+        last_use_[i] = 0;
     }
 
-    Line *
-    find(std::uint64_t key)
+    /** Index of @p key's line, or kNone. */
+    std::size_t
+    find(std::uint64_t key) const
     {
-        const std::size_t set = setOf(key);
-        for (std::size_t w = 0; w < ways_; ++w) {
-            Line &l = lines_[set * ways_ + w];
-            if (l.valid && l.key == key)
-                return &l;
-        }
-        return nullptr;
+        const std::size_t base = setOf(key) * ways_;
+        for (std::size_t i = base; i < base + ways_; ++i)
+            if (keys_[i] == key && valid_[i])
+                return i;
+        return kNone;
     }
 
     std::uint32_t sets_ = 0;
     std::uint32_t ways_ = 0;
+    bool sets_pow2_ = false;
+    std::uint64_t set_mask_ = 0;
     std::uint64_t tick_ = 0;
-    std::vector<Line> lines_;
+    // Last-hit memo (see lookup); never trusted without a re-check.
+    std::uint64_t memo_key_ = 0;
+    std::size_t memo_idx_ = kNone;
+    // Structure-of-arrays line state, indexed set * ways_ + way.
+    std::vector<std::uint8_t> valid_;
+    std::vector<std::uint64_t> keys_;
+    std::vector<std::uint64_t> last_use_;
 };
 
 } // namespace bauvm

@@ -11,19 +11,4 @@ Cache::Cache(const CacheConfig &config, std::string name)
 {
 }
 
-bool
-Cache::access(std::uint64_t line_key, bool write)
-{
-    (void)write; // write-back; writes allocate just like reads
-    if (array_.lookup(line_key)) {
-        ++hits_;
-        return true;
-    }
-    ++misses_;
-    std::uint64_t evicted;
-    if (array_.insert(line_key, &evicted))
-        ++evictions_;
-    return false;
-}
-
 } // namespace bauvm

@@ -30,11 +30,25 @@ class Cache
      * Accesses the line identified by @p line_key.
      *
      * On a miss the line is filled immediately (the latency of the fill
-     * is charged by the MemoryHierarchy, not here).
+     * is charged by the MemoryHierarchy, not here). Defined inline:
+     * this is the hottest leaf of the per-access path.
      *
      * @retval true  hit.
      */
-    bool access(std::uint64_t line_key, bool write);
+    bool
+    access(std::uint64_t line_key, bool write)
+    {
+        (void)write; // write-back; writes allocate just like reads
+        if (array_.lookup(line_key)) {
+            ++hits_;
+            return true;
+        }
+        ++misses_;
+        std::uint64_t evicted;
+        if (array_.insert(line_key, &evicted))
+            ++evictions_;
+        return false;
+    }
 
     Cycle hitLatency() const { return config_.hit_latency; }
     std::uint32_t lineBytes() const { return config_.line_bytes; }

@@ -1,24 +1,16 @@
 #include "src/mem/dram.h"
 
+#include <bit>
+
 namespace bauvm
 {
 
 Dram::Dram(const MemConfig &config) : config_(config)
 {
-}
-
-Cycle
-Dram::access(std::uint64_t bytes, Cycle start)
-{
-    ++accesses_;
-    bytes_ += bytes;
-    const Cycle begin = start > channel_free_ ? start : channel_free_;
-    queueing_cycles_ += begin - start;
-    Cycle occupancy = bytes / config_.dram_bytes_per_cycle;
-    if (occupancy == 0)
-        occupancy = 1;
-    channel_free_ = begin + occupancy;
-    return begin + config_.dram_latency + occupancy;
+    const std::uint32_t bpc = config.dram_bytes_per_cycle;
+    bpc_pow2_ = bpc > 0 && (bpc & (bpc - 1)) == 0;
+    if (bpc_pow2_)
+        bpc_shift_ = std::countr_zero(bpc);
 }
 
 } // namespace bauvm

@@ -27,9 +27,24 @@ class Dram
 
     /**
      * Services a @p bytes transfer requested at cycle @p start.
+     * Defined inline: on the per-access critical path.
      * @return completion cycle.
      */
-    Cycle access(std::uint64_t bytes, Cycle start);
+    Cycle
+    access(std::uint64_t bytes, Cycle start)
+    {
+        ++accesses_;
+        bytes_ += bytes;
+        const Cycle begin = start > channel_free_ ? start : channel_free_;
+        queueing_cycles_ += begin - start;
+        Cycle occupancy = bpc_pow2_
+                              ? bytes >> bpc_shift_
+                              : bytes / config_.dram_bytes_per_cycle;
+        if (occupancy == 0)
+            occupancy = 1;
+        channel_free_ = begin + occupancy;
+        return begin + config_.dram_latency + occupancy;
+    }
 
     std::uint64_t accesses() const { return accesses_; }
     std::uint64_t bytesTransferred() const { return bytes_; }
@@ -39,6 +54,8 @@ class Dram
 
   private:
     MemConfig config_;
+    bool bpc_pow2_ = false; //!< shift instead of divide when pow2
+    std::uint32_t bpc_shift_ = 0;
     Cycle channel_free_ = 0;
     std::uint64_t accesses_ = 0;
     std::uint64_t bytes_ = 0;

@@ -1,5 +1,6 @@
 #include "src/mem/memory_hierarchy.h"
 
+#include <bit>
 #include <string>
 
 #include "src/check/model_auditor.h"
@@ -8,17 +9,24 @@
 namespace bauvm
 {
 
-MemoryHierarchy::MemoryHierarchy(const MemConfig &config,
-                                 std::uint32_t num_sms,
-                                 std::uint64_t page_bytes,
-                                 const PageTable &page_table,
-                                 const SimHooks &hooks)
+MemoryHierarchyBase::MemoryHierarchyBase(const MemConfig &config,
+                                         std::uint32_t num_sms,
+                                         std::uint64_t page_bytes,
+                                         const PageTable &page_table,
+                                         const SimHooks &hooks)
     : hooks_(hooks), config_(config), page_bytes_(page_bytes),
       page_table_(page_table),
       l2_tlb_(std::make_unique<Tlb>(config.l2_tlb, "l2tlb")),
       l2_cache_(std::make_unique<Cache>(config.l2, "l2")),
       walker_(config), dram_(config), mshrs_(num_sms)
 {
+    page_pow2_ = page_bytes > 0 && (page_bytes & (page_bytes - 1)) == 0;
+    if (page_pow2_)
+        page_shift_ = std::countr_zero(page_bytes);
+    const std::uint64_t lb = config.l1.line_bytes;
+    line_pow2_ = lb > 0 && (lb & (lb - 1)) == 0;
+    if (line_pow2_)
+        line_shift_ = std::countr_zero(lb);
     l1_tlbs_.reserve(num_sms);
     l1_caches_.reserve(num_sms);
     for (std::uint32_t i = 0; i < num_sms; ++i) {
@@ -29,96 +37,8 @@ MemoryHierarchy::MemoryHierarchy(const MemConfig &config,
     }
 }
 
-std::uint64_t
-MemoryHierarchy::lineKey(VAddr vaddr) const
-{
-    const std::uint64_t line = vaddr / config_.l1.line_bytes;
-    const PageNum vpn = vaddr / page_bytes_;
-    const std::uint64_t version = page_table_.version(vpn);
-    // Virtual addresses stay far below 2^40 (the device allocator hands
-    // out low addresses), so versions fit above the line index.
-    return (version << 40) ^ line;
-}
-
-std::pair<bool, Cycle>
-MemoryHierarchy::translate(std::uint32_t sm, PageNum vpn, Cycle start)
-{
-    Tlb &l1 = *l1_tlbs_[sm];
-    Cycle t = start + l1.hitLatency();
-    if (l1.lookup(vpn)) {
-        if (hooks_.audit)
-            hooks_.audit->onTranslationHit(vpn);
-        return {false, t};
-    }
-
-    t += l2_tlb_->hitLatency();
-    if (l2_tlb_->lookup(vpn)) {
-        if (hooks_.audit) {
-            hooks_.audit->onTranslationHit(vpn);
-            hooks_.audit->onTranslationInsert(vpn);
-        }
-        l1.insert(vpn);
-        return {false, t};
-    }
-
-    ++walks_;
-    const Cycle walk_done = walker_.walk(vpn, t);
-    const bool fault = !page_table_.isResident(vpn);
-    if (hooks_.audit)
-        hooks_.audit->onWalkResolved(vpn, walk_done, fault);
-    if (fault)
-        return {true, walk_done};
-    if (hooks_.audit) {
-        hooks_.audit->onTranslationInsert(vpn); // L2 TLB fill
-        hooks_.audit->onTranslationInsert(vpn); // L1 TLB fill
-    }
-    l2_tlb_->insert(vpn);
-    l1.insert(vpn);
-    return {false, walk_done};
-}
-
-MemResult
-MemoryHierarchy::access(std::uint32_t sm, VAddr vaddr, bool write,
-                        Cycle start)
-{
-    if (sm >= l1_tlbs_.size())
-        panic("MemoryHierarchy: SM index %u out of range", sm);
-    ++accesses_;
-
-    const PageNum vpn = vaddr / page_bytes_;
-    auto [fault, t] = translate(sm, vpn, start);
-    if (fault) {
-        ++faults_;
-        return MemResult{true, vpn, t};
-    }
-
-    const std::uint64_t key = lineKey(vaddr);
-    Cache &l1 = *l1_caches_[sm];
-    t += l1.hitLatency();
-    if (l1.access(key, write))
-        return MemResult{false, 0, t};
-
-    // L1 miss: consume an MSHR for the duration of the fill.
-    auto &mshr = mshrs_[sm];
-    while (!mshr.empty() && mshr.top() <= t)
-        mshr.pop();
-    if (mshr.size() >= config_.mshrs_per_sm) {
-        const Cycle avail = mshr.top();
-        mshr.pop();
-        mshr_stall_cycles_ += avail - t;
-        t = avail;
-    }
-
-    t += l2_cache_->hitLatency() + extra_l2_latency_;
-    if (!l2_cache_->access(key, write))
-        t = dram_.access(config_.l2.line_bytes, t);
-
-    mshr.push(t);
-    return MemResult{false, 0, t};
-}
-
 void
-MemoryHierarchy::invalidatePage(PageNum vpn)
+MemoryHierarchyBase::invalidatePage(PageNum vpn)
 {
     for (auto &tlb : l1_tlbs_)
         tlb->invalidate(vpn);
@@ -126,5 +46,11 @@ MemoryHierarchy::invalidatePage(PageNum vpn)
     if (hooks_.audit)
         hooks_.audit->onTranslationInvalidate(vpn);
 }
+
+template class MemoryHierarchyT<ObserverMode::Dynamic>;
+template class MemoryHierarchyT<ObserverMode::None>;
+template class MemoryHierarchyT<ObserverMode::Trace>;
+template class MemoryHierarchyT<ObserverMode::Audit>;
+template class MemoryHierarchyT<ObserverMode::Both>;
 
 } // namespace bauvm

@@ -9,23 +9,6 @@ Tlb::Tlb(const TlbConfig &config, std::string name)
 {
 }
 
-bool
-Tlb::lookup(PageNum vpn)
-{
-    if (array_.lookup(vpn)) {
-        ++hits_;
-        return true;
-    }
-    ++misses_;
-    return false;
-}
-
-void
-Tlb::insert(PageNum vpn)
-{
-    array_.insert(vpn);
-}
-
 void
 Tlb::invalidate(PageNum vpn)
 {

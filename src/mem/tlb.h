@@ -28,11 +28,21 @@ class Tlb
   public:
     Tlb(const TlbConfig &config, std::string name);
 
-    /** Looks up @p vpn, updating LRU and hit/miss statistics. */
-    bool lookup(PageNum vpn);
+    /** Looks up @p vpn, updating LRU and hit/miss statistics.
+     *  Defined inline: on the per-access critical path. */
+    bool
+    lookup(PageNum vpn)
+    {
+        if (array_.lookup(vpn)) {
+            ++hits_;
+            return true;
+        }
+        ++misses_;
+        return false;
+    }
 
     /** Installs a translation for @p vpn (possibly evicting LRU). */
-    void insert(PageNum vpn);
+    void insert(PageNum vpn) { array_.insert(vpn); }
 
     /** Drops the translation for @p vpn (eviction shootdown). */
     void invalidate(PageNum vpn);

@@ -12,6 +12,7 @@
 #include "src/core/experiment.h"
 #include "src/core/system.h"
 #include "src/graph/stream/csr_stream_builder.h"
+#include "src/runner/parallel_units.h"
 #include "src/sim/log.h"
 #include "src/trace/trace_export.h"
 #include "src/workloads/workload_registry.h"
@@ -508,26 +509,42 @@ executeCell(const CellExecArgs &args)
         SimConfig config = args.config;
         config.trace.enabled = tracing;
         if (!args.tenants.empty()) {
-            // Anchor the slowdown: each tenant solo on the whole GPU,
-            // same ratio/policy/scale and the seed its mix build will
-            // use, so the two builds share the graph cache.
-            std::vector<Cycle> solo(args.tenants.size(), 0);
-            for (std::size_t i = 0; i < args.tenants.size(); ++i) {
+            // A multi-tenant cell is several independent simulations:
+            // one solo anchor per tenant (each tenant alone on the
+            // whole GPU, same ratio/policy/scale and the seed its mix
+            // build will use, so the builds share the graph cache)
+            // plus the mix itself. They are units on the intra-cell
+            // pool: args.cell_threads > 1 overlaps them, and the
+            // fixed-order merge below keeps any thread count
+            // bit-identical to the serial run. Each unit installs its
+            // own abort capture — the depth is thread-local.
+            const std::size_t n = args.tenants.size();
+            std::vector<Cycle> solo(n, 0);
+            RunResult mix_result;
+            std::unique_ptr<GpuUvmSystem> mix_system;
+            runUnits(n + 1, args.cell_threads, [&](std::size_t u) {
+                ScopedAbortCapture unit_capture;
+                if (u == n) {
+                    mix_system =
+                        std::make_unique<GpuUvmSystem>(config);
+                    mix_result = mix_system->run(args.tenants);
+                    return;
+                }
                 SimConfig solo_config = config;
                 solo_config.seed =
                     deriveTenantSeed(config.seed,
-                                     static_cast<std::uint32_t>(i));
+                                     static_cast<std::uint32_t>(u));
                 solo_config.mt = MtConfig{};
                 solo_config.trace.enabled = false;
                 auto workload = WorkloadRegistry::instance().create(
-                    args.tenants[i].workload);
+                    args.tenants[u].workload);
                 GpuUvmSystem solo_system(solo_config);
-                solo[i] =
-                    solo_system.run(*workload, args.tenants[i].scale)
+                solo[u] =
+                    solo_system.run(*workload, args.tenants[u].scale)
                         .cycles;
-            }
-            system = std::make_unique<GpuUvmSystem>(config);
-            out.result = system->run(args.tenants);
+            });
+            system = std::move(mix_system);
+            out.result = std::move(mix_result);
             for (std::size_t i = 0; i < out.result.tenants.size();
                  ++i) {
                 TenantResult &t = out.result.tenants[i];

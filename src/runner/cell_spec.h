@@ -133,6 +133,13 @@ struct CellExecArgs {
     double soft_timeout_s = 0.0;
     std::string git_rev;        //!< for the digest; gitRev() if empty
 
+    /** Host threads inside this cell. A multi-tenant cell runs its
+     *  per-tenant solo anchors and the mix as independent units on
+     *  this many threads; results are merged in fixed unit order, so
+     *  any value produces the bit-identical outcome of 1 (serial).
+     *  Excluded from cellKey() — it cannot change the payload. */
+    std::size_t cell_threads = 1;
+
     // In-process tracing (sweep service workers leave these empty).
     std::string trace_dir;      //!< "" disables the per-cell flush
     std::string trace_stem;     //!< file stem inside trace_dir

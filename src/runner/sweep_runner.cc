@@ -79,6 +79,7 @@ executeJob(const SweepJob &job, const SweepSpec &spec,
         t.scale = spec.opt.scale;
 
     args.soft_timeout_s = spec.opt.timeout_s;
+    args.cell_threads = spec.opt.cell_threads;
     if (!spec.opt.trace_dir.empty()) {
         args.trace_dir = spec.opt.trace_dir;
         args.trace_stem = cellFileStem(spec, job);

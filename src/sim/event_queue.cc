@@ -243,6 +243,11 @@ EventQueue::dispatch(const Next &n)
              // must see the event as already run
     --pending_;
     now_ = n.when;
+    // Fold (when, seq) into the order digest before the callback runs,
+    // so a callback that inspects the digest sees its own event.
+    constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+    order_digest_ = (order_digest_ ^ n.when) * kFnvPrime;
+    order_digest_ = (order_digest_ ^ n.seq) * kFnvPrime;
     r.cb(); // invoked in place: slab storage is stable even if the
             // callback schedules more events (slabs append, records
             // never move), and this slot is not on the free list yet

@@ -160,6 +160,17 @@ class EventQueue
     std::uint64_t executedEvents() const { return executed_; }
 
     /**
+     * FNV-1a fold of every dispatched event's (when, seq) pair, in
+     * dispatch order. Two queues agree on this digest iff they executed
+     * the same events in the same order — the oracle the cell-threading
+     * differential tests compare, far cheaper than recording a full
+     * event log. Deterministic across runs and thread counts (events
+     * execute on whichever host thread owns the queue; the digest
+     * captures simulated order only).
+     */
+    std::uint64_t orderDigest() const { return order_digest_; }
+
+    /**
      * Cancelled-event tombstones currently parked in the ring or heap.
      * Heap tombstones are reclaimed eagerly by compaction once they
      * outnumber live heap entries; ring tombstones are reclaimed as
@@ -273,6 +284,7 @@ class EventQueue
     Cycle now_ = 0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t executed_ = 0;
+    std::uint64_t order_digest_ = 14695981039346656037ULL; //!< FNV-1a
     std::size_t pending_ = 0;
     bool stop_requested_ = false;
 

@@ -1,7 +1,5 @@
 #include "src/sim/rng.h"
 
-#include "src/sim/log.h"
-
 namespace bauvm
 {
 
@@ -16,12 +14,6 @@ splitmix64(std::uint64_t &x)
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
     return z ^ (z >> 31);
 }
-
-std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
 } // namespace
 
 Rng::Rng(std::uint64_t seed)
@@ -29,50 +21,6 @@ Rng::Rng(std::uint64_t seed)
     std::uint64_t x = seed;
     for (auto &s : s_)
         s = splitmix64(x);
-}
-
-std::uint64_t
-Rng::next()
-{
-    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-    const std::uint64_t t = s_[1] << 17;
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-    return result;
-}
-
-std::uint64_t
-Rng::nextBelow(std::uint64_t bound)
-{
-    if (bound == 0)
-        panic("Rng::nextBelow: bound must be positive");
-    // Debiased modulo is unnecessary for simulation purposes; 2^64 is so
-    // much larger than any bound we use that the bias is negligible.
-    return next() % bound;
-}
-
-std::uint64_t
-Rng::nextRange(std::uint64_t lo, std::uint64_t hi)
-{
-    if (lo > hi)
-        panic("Rng::nextRange: lo > hi");
-    return lo + nextBelow(hi - lo + 1);
-}
-
-double
-Rng::nextDouble()
-{
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-bool
-Rng::nextBool(double p)
-{
-    return nextDouble() < p;
 }
 
 } // namespace bauvm

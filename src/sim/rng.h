@@ -12,6 +12,8 @@
 
 #include <cstdint>
 
+#include "src/sim/log.h"
+
 namespace bauvm
 {
 
@@ -28,22 +30,62 @@ class Rng
     /** Constructs a generator from a 64-bit seed via splitmix64. */
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
+    // The draw methods are defined here so the workloads' per-edge
+    // inner loops inline them; the state update is a handful of xors.
+
     /** Next raw 64-bit value. */
-    std::uint64_t next();
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
 
     /** Uniform integer in [0, bound). @pre bound > 0. */
-    std::uint64_t nextBelow(std::uint64_t bound);
+    std::uint64_t
+    nextBelow(std::uint64_t bound)
+    {
+        if (bound == 0)
+            panic("Rng::nextBelow: bound must be positive");
+        // Debiased modulo is unnecessary for simulation purposes; 2^64
+        // is so much larger than any bound we use that the bias is
+        // negligible.
+        return next() % bound;
+    }
 
     /** Uniform integer in [lo, hi]. @pre lo <= hi. */
-    std::uint64_t nextRange(std::uint64_t lo, std::uint64_t hi);
+    std::uint64_t
+    nextRange(std::uint64_t lo, std::uint64_t hi)
+    {
+        if (lo > hi)
+            panic("Rng::nextRange: lo > hi");
+        return lo + nextBelow(hi - lo + 1);
+    }
 
     /** Uniform double in [0, 1). */
-    double nextDouble();
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
 
     /** Bernoulli draw with probability @p p of returning true. */
-    bool nextBool(double p);
+    bool nextBool(double p) { return nextDouble() < p; }
 
   private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::uint64_t s_[4];
 };
 

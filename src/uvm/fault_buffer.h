@@ -13,10 +13,18 @@
  * hardware's replay of dropped faults.
  *
  * Duplicate detection uses PageMeta::fault_slot in the shared dense
- * page-metadata table instead of a vpn -> index hash map, and drain
- * swaps the entry vector with a caller-provided scratch buffer — in
- * steady state (no overflow) inserting and draining faults performs no
- * heap allocation at all.
+ * page-metadata table instead of a vpn -> index hash map. Buffered
+ * entries live in a structure-of-arrays FaultBatch (parallel vpn /
+ * first-cycle / duplicate / tenant arrays) so the runtime's batch
+ * preprocessing runs as tight scans over each array, and drain swaps
+ * the arrays with a caller-provided batch — in steady state (no
+ * overflow) inserting and draining faults performs no heap allocation
+ * at all.
+ *
+ * Like the other hot-path classes, the buffer splits into a
+ * mode-independent base and FaultBufferT<M> carrying the specialized
+ * insert/drain (src/check/observer_mode.h); FaultBuffer aliases the
+ * Dynamic specialization.
  */
 
 #ifndef BAUVM_UVM_FAULT_BUFFER_H_
@@ -25,6 +33,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/check/observer_mode.h"
 #include "src/check/sim_hooks.h"
 #include "src/mem/page_meta.h"
 #include "src/sim/types.h"
@@ -33,7 +42,7 @@
 namespace bauvm
 {
 
-/** One page-granular fault record. */
+/** One page-granular fault record (AoS view; tests, overflow queue). */
 struct FaultRecord {
     PageNum vpn = 0;
     Cycle first_cycle = 0;      //!< when the first fault for the page hit
@@ -41,8 +50,44 @@ struct FaultRecord {
     TenantId tenant = kNoTenant;  //!< owner of the faulting page
 };
 
-/** Bounded buffer of outstanding (not yet batched) page faults. */
-class FaultBuffer
+/**
+ * Structure-of-arrays batch of page faults: index i across the four
+ * parallel arrays describes one distinct faulting page, in insertion
+ * order. The batch-begin preprocessing scans one array at a time
+ * (residency over vpns, accounting over duplicates/tenants) instead of
+ * striding over interleaved records.
+ */
+struct FaultBatch {
+    std::vector<PageNum> vpns;
+    std::vector<Cycle> first_cycles;
+    std::vector<std::uint32_t> duplicates;
+    std::vector<TenantId> tenants;
+
+    std::size_t size() const { return vpns.size(); }
+    bool empty() const { return vpns.empty(); }
+
+    void
+    clear()
+    {
+        vpns.clear();
+        first_cycles.clear();
+        duplicates.clear();
+        tenants.clear();
+    }
+
+    void
+    push(PageNum vpn, Cycle first_cycle, std::uint32_t dups,
+         TenantId tenant)
+    {
+        vpns.push_back(vpn);
+        first_cycles.push_back(first_cycle);
+        duplicates.push_back(dups);
+        tenants.push_back(tenant);
+    }
+};
+
+/** State and queries of the bounded fault buffer (mode-independent). */
+class FaultBufferBase
 {
   public:
     /**
@@ -53,8 +98,52 @@ class FaultBuffer
      * @param hooks    observers (inserts emit occupancy counter
      *                 samples; the auditor replays the accounting).
      */
-    FaultBuffer(std::uint32_t capacity, PageMetaTable &meta,
-                const SimHooks &hooks = {});
+    FaultBufferBase(std::uint32_t capacity, PageMetaTable &meta,
+                    const SimHooks &hooks = {});
+
+    /** Distinct-page entries currently buffered. */
+    std::size_t size() const { return entries_.size(); }
+
+    bool empty() const { return entries_.empty() && overflowSize() == 0; }
+
+    std::uint32_t capacity() const { return capacity_; }
+
+    /** Total faults that arrived while the buffer was full. */
+    std::uint64_t overflows() const { return overflows_; }
+
+    /** Total insert() calls (including duplicates and overflows). */
+    std::uint64_t totalFaults() const { return total_faults_; }
+
+  protected:
+    ~FaultBufferBase() = default;
+
+    std::size_t overflowSize() const
+    {
+        return overflow_.size() - overflow_head_;
+    }
+
+    SimHooks hooks_;
+    std::uint32_t capacity_;
+    PageMetaTable &meta_;
+    FaultBatch entries_; //!< insertion-ordered SoA entries
+    /**
+     * Overflow FIFO: live entries are [overflow_head_, size()). Popping
+     * advances the head; storage is reclaimed once the queue empties
+     * (drain compacts it), so sustained overflow does not grow it
+     * unboundedly. Overflow is the rare path, so it stays AoS.
+     */
+    std::vector<FaultRecord> overflow_;
+    std::size_t overflow_head_ = 0;
+    std::uint64_t overflows_ = 0;
+    std::uint64_t total_faults_ = 0;
+};
+
+/** Bounded buffer of outstanding (not yet batched) page faults. */
+template <ObserverMode M>
+class FaultBufferT final : public FaultBufferBase
+{
+  public:
+    using FaultBufferBase::FaultBufferBase;
 
     /**
      * Records a fault on @p vpn at cycle @p now.
@@ -68,9 +157,13 @@ class FaultBuffer
 
     /**
      * Moves every buffered entry into @p out (batch formation), then
-     * refills from the overflow queue. @p out is clear()ed first; reusing
-     * the same vector across batches keeps the drain allocation-free.
+     * refills from the overflow queue. @p out is clear()ed first; the
+     * SoA arrays are swapped, so reusing the same batch across drains
+     * keeps the drain allocation-free.
      */
+    void drainInto(FaultBatch &out);
+
+    /** AoS compatibility drain (tests, differential harnesses). */
     void drainInto(std::vector<FaultRecord> &out);
 
     /** Convenience wrapper around drainInto() (tests, one-shot use). */
@@ -81,41 +174,16 @@ class FaultBuffer
         drainInto(out);
         return out;
     }
-
-    /** Distinct-page entries currently buffered. */
-    std::size_t size() const { return order_.size(); }
-
-    bool empty() const { return order_.empty() && overflowSize() == 0; }
-
-    std::uint32_t capacity() const { return capacity_; }
-
-    /** Total faults that arrived while the buffer was full. */
-    std::uint64_t overflows() const { return overflows_; }
-
-    /** Total insert() calls (including duplicates and overflows). */
-    std::uint64_t totalFaults() const { return total_faults_; }
-
-  private:
-    std::size_t overflowSize() const
-    {
-        return overflow_.size() - overflow_head_;
-    }
-
-    SimHooks hooks_;
-    std::uint32_t capacity_;
-    PageMetaTable &meta_;
-    std::vector<FaultRecord> order_;  //!< insertion-ordered entries
-    /**
-     * Overflow FIFO: live entries are [overflow_head_, size()). Popping
-     * advances the head; storage is reclaimed once the queue empties
-     * (drain compacts it), so sustained overflow does not grow it
-     * unboundedly.
-     */
-    std::vector<FaultRecord> overflow_;
-    std::size_t overflow_head_ = 0;
-    std::uint64_t overflows_ = 0;
-    std::uint64_t total_faults_ = 0;
 };
+
+extern template class FaultBufferT<ObserverMode::Dynamic>;
+extern template class FaultBufferT<ObserverMode::None>;
+extern template class FaultBufferT<ObserverMode::Trace>;
+extern template class FaultBufferT<ObserverMode::Audit>;
+extern template class FaultBufferT<ObserverMode::Both>;
+
+/** Historical name: the runtime-dispatched (Dynamic) specialization. */
+using FaultBuffer = FaultBufferT<ObserverMode::Dynamic>;
 
 } // namespace bauvm
 

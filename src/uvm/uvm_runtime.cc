@@ -9,12 +9,13 @@
 namespace bauvm
 {
 
-UvmRuntime::UvmRuntime(const UvmConfig &config, EventQueue &events,
-                       GpuMemoryManager &manager,
-                       MemoryHierarchy &hierarchy, const SimHooks &hooks)
+UvmRuntimeBase::UvmRuntimeBase(const UvmConfig &config,
+                               EventQueue &events,
+                               GpuMemoryManager &manager,
+                               MemoryHierarchyBase &hierarchy,
+                               const SimHooks &hooks)
     : hooks_(hooks), config_(config), events_(events), manager_(manager),
       hierarchy_(hierarchy), meta_(manager.pageTable().meta()),
-      fault_buffer_(config.fault_buffer_entries, meta_, hooks),
       pcie_(config, hooks),
       pcie_compression_(config.pcie_compression_ratio),
       prefetcher_(
@@ -30,14 +31,14 @@ UvmRuntime::UvmRuntime(const UvmConfig &config, EventQueue &events,
 }
 
 void
-UvmRuntime::setTenantDirectory(const TenantDirectory *dir)
+UvmRuntimeBase::setTenantDirectory(const TenantDirectory *dir)
 {
     dir_ = dir;
     demand_by_.assign(dir ? dir->size() : 0, 0);
 }
 
 void
-UvmRuntime::registerAllocation(VAddr base, std::uint64_t bytes)
+UvmRuntimeBase::registerAllocation(VAddr base, std::uint64_t bytes)
 {
     const PageNum first = base / config_.page_bytes;
     const PageNum last = (base + bytes - 1) / config_.page_bytes;
@@ -46,7 +47,7 @@ UvmRuntime::registerAllocation(VAddr base, std::uint64_t bytes)
 }
 
 void
-UvmRuntime::appendWaiter(PageNum vpn, WakeFn waiter)
+UvmRuntimeBase::appendWaiter(PageNum vpn, WakeFn waiter)
 {
     std::uint32_t idx;
     if (waiter_free_ != PageMeta::kNoIndex) {
@@ -69,7 +70,7 @@ UvmRuntime::appendWaiter(PageNum vpn, WakeFn waiter)
 }
 
 void
-UvmRuntime::wakeWaiters(PageNum vpn, Cycle now)
+UvmRuntimeBase::wakeWaiters(PageNum vpn, Cycle now)
 {
     const PageMeta *m = meta_.find(vpn);
     if (m == nullptr || m->waiter_head == PageMeta::kNoIndex)
@@ -93,7 +94,92 @@ UvmRuntime::wakeWaiters(PageNum vpn, Cycle now)
 }
 
 void
-UvmRuntime::onPageFault(PageNum vpn, WakeFn waiter)
+UvmRuntimeBase::radixSortAscending(std::vector<PageNum> &keys)
+{
+    const std::size_t n = keys.size();
+    if (n < 2)
+        return;
+    PageNum max_key = 0;
+    for (const PageNum k : keys)
+        max_key = std::max(max_key, k);
+    radix_scratch_.resize(n);
+    std::vector<PageNum> *src = &keys;
+    std::vector<PageNum> *dst = &radix_scratch_;
+    for (std::uint32_t shift = 0;
+         shift < 64 && (max_key >> shift) != 0; shift += 8) {
+        std::size_t counts[256] = {};
+        for (std::size_t i = 0; i < n; ++i)
+            ++counts[((*src)[i] >> shift) & 0xff];
+        std::size_t pos = 0;
+        for (std::size_t d = 0; d < 256; ++d) {
+            const std::size_t c = counts[d];
+            counts[d] = pos;
+            pos += c;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            const PageNum k = (*src)[i];
+            (*dst)[counts[(k >> shift) & 0xff]++] = k;
+        }
+        std::swap(src, dst);
+    }
+    if (src != &keys)
+        keys.swap(radix_scratch_);
+}
+
+void
+UvmRuntimeBase::enableProactiveEviction(double target)
+{
+    proactive_eviction_ = true;
+    proactive_target_ = target;
+}
+
+double
+UvmRuntimeBase::averageBatchPages() const
+{
+    if (records_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &r : records_)
+        sum += r.fault_pages;
+    return sum / static_cast<double>(records_.size());
+}
+
+double
+UvmRuntimeBase::averageProcessingTime() const
+{
+    if (records_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &r : records_)
+        sum += static_cast<double>(r.processingTime());
+    return sum / static_cast<double>(records_.size());
+}
+
+double
+UvmRuntimeBase::averageHandlingTime() const
+{
+    if (records_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &r : records_)
+        sum += static_cast<double>(r.handlingTime());
+    return sum / static_cast<double>(records_.size());
+}
+
+template <ObserverMode M>
+UvmRuntimeT<M>::UvmRuntimeT(const UvmConfig &config, EventQueue &events,
+                            GpuMemoryManager &manager,
+                            MemoryHierarchyBase &hierarchy,
+                            const SimHooks &hooks)
+    : UvmRuntimeBase(config, events, manager, hierarchy, hooks),
+      fault_buffer_store_(config.fault_buffer_entries, meta_, hooks)
+{
+    fault_buffer_ = &fault_buffer_store_;
+}
+
+template <ObserverMode M>
+void
+UvmRuntimeT<M>::onPageFault(PageNum vpn, WakeFn waiter)
 {
     const Cycle now = events_.now();
     if (manager_.isResident(vpn)) {
@@ -107,23 +193,28 @@ UvmRuntime::onPageFault(PageNum vpn, WakeFn waiter)
         // Already queued in the active batch; the waiter joins it.
         return;
     }
-    fault_buffer_.insert(vpn, now, tenantFor(vpn));
+    fault_buffer_store_.insert(vpn, now, tenantFor(vpn));
     if (state_ == State::Idle) {
         state_ = State::InterruptPending;
-        if (hooks_.audit)
-            hooks_.audit->onInterruptRaised(now);
+        if constexpr (observesAudit(M)) {
+            if (hooks_.audit)
+                hooks_.audit->onInterruptRaised(now);
+        }
         events_.scheduleAfter(interrupt_cycles_, [this] { batchBegin(); });
     }
 }
 
+template <ObserverMode M>
 void
-UvmRuntime::batchBegin()
+UvmRuntimeT<M>::batchBegin()
 {
     // Chained: entered straight from batchEnd() with no interrupt
     // round trip (state still BatchActive at the call).
-    if (hooks_.audit) {
-        hooks_.audit->onBatchBegin(events_.now(),
-                                   state_ == State::BatchActive);
+    if constexpr (observesAudit(M)) {
+        if (hooks_.audit) {
+            hooks_.audit->onBatchBegin(events_.now(),
+                                       state_ == State::BatchActive);
+        }
     }
     state_ = State::BatchActive;
     current_ = BatchRecord{};
@@ -137,25 +228,34 @@ UvmRuntime::batchBegin()
     // so the first migration never waits on an eviction.
     if (config_.unobtrusive_eviction && !config_.ideal_eviction &&
         manager_.atCapacity() && evictions_in_flight_ == 0) {
-        if (hooks_.audit)
-            hooks_.audit->onPreemptiveEviction(events_.now());
+        if constexpr (observesAudit(M)) {
+            if (hooks_.audit)
+                hooks_.audit->onPreemptiveEviction(events_.now());
+        }
         launchEviction(events_.now());
     }
 
-    fault_buffer_.drainInto(drained_faults_);
+    fault_buffer_store_.drainInto(drained_batch_);
     demand_.clear();
-    for (const FaultRecord &f : drained_faults_) {
-        if (manager_.isResident(f.vpn)) {
+    // SoA preprocessing: residency scan over the vpn array (waking
+    // already-resident pages in drain order, exactly as the AoS loop
+    // did), with duplicate/tenant accounting off the parallel arrays.
+    const std::size_t drained = drained_batch_.size();
+    for (std::size_t i = 0; i < drained; ++i) {
+        const PageNum vpn = drained_batch_.vpns[i];
+        if (manager_.isResident(vpn)) {
             // Resolved by a prefetch of a previous batch: replay.
-            wakeWaiters(f.vpn, events_.now());
+            wakeWaiters(vpn, events_.now());
             continue;
         }
-        demand_.push_back(f.vpn);
-        current_.duplicate_faults += f.duplicates - 1;
-        if (dir_ && f.tenant != kNoTenant)
-            ++demand_by_[f.tenant];
+        demand_.push_back(vpn);
+        current_.duplicate_faults += drained_batch_.duplicates[i] - 1;
+        if (dir_ && drained_batch_.tenants[i] != kNoTenant)
+            ++demand_by_[drained_batch_.tenants[i]];
     }
-    std::sort(demand_.begin(), demand_.end());
+    // Distinct keys (the buffer deduplicates per page), bounded by the
+    // allocation footprint: radix order == std::sort order.
+    radixSortAscending(demand_);
 
     prefetch_.clear();
     if (config_.prefetch_enabled)
@@ -181,11 +281,13 @@ UvmRuntime::batchBegin()
         handling_cycles_ +
         usToCycles(config_.fault_handling_per_page_us) *
             current_.fault_pages;
-    if (hooks_.trace) {
-        hooks_.trace->interval(TraceEventType::FaultHandling,
-                               kTraceTrackRuntime, current_.begin,
-                               current_.begin + handling,
-                               current_.fault_pages);
+    if constexpr (observesTrace(M)) {
+        if (hooks_.trace) {
+            hooks_.trace->interval(TraceEventType::FaultHandling,
+                                   kTraceTrackRuntime, current_.begin,
+                                   current_.begin + handling,
+                                   current_.fault_pages);
+        }
     }
     BAUVM_DLOG("UvmRuntime: batch %llu begins at cycle %llu: %u demand "
                "+ %u prefetch pages (%u duplicate faults)",
@@ -196,8 +298,9 @@ UvmRuntime::batchBegin()
     events_.scheduleAfter(handling, [this] { pumpMigrations(); });
 }
 
+template <ObserverMode M>
 bool
-UvmRuntime::launchEviction(Cycle earliest, TenantId cause)
+UvmRuntimeT<M>::launchEviction(Cycle earliest, TenantId cause)
 {
     PageNum victim;
     if (!manager_.beginEvictionFor(cause, &victim, events_.now()))
@@ -214,20 +317,26 @@ UvmRuntime::launchEviction(Cycle earliest, TenantId cause)
     Cycle begin = 0;
     const Cycle done = pcie_.transfer(PcieDir::DeviceToHost, bytes,
                                       earliest, &begin);
-    if (hooks_.trace) {
-        hooks_.trace->interval(TraceEventType::Eviction,
-                               kTraceTrackPcieD2h, begin, done, victim,
-                               static_cast<std::uint32_t>(bytes));
+    if constexpr (observesTrace(M)) {
+        if (hooks_.trace) {
+            hooks_.trace->interval(TraceEventType::Eviction,
+                                   kTraceTrackPcieD2h, begin, done,
+                                   victim,
+                                   static_cast<std::uint32_t>(bytes));
+        }
     }
-    if (hooks_.audit)
-        hooks_.audit->onEvictionTransfer(victim, begin, done, bytes);
+    if constexpr (observesAudit(M)) {
+        if (hooks_.audit)
+            hooks_.audit->onEvictionTransfer(victim, begin, done, bytes);
+    }
     events_.scheduleAt(done,
                        [this, victim] { onEvictionComplete(victim); });
     return true;
 }
 
+template <ObserverMode M>
 void
-UvmRuntime::scheduleMigration(PageNum vpn)
+UvmRuntimeT<M>::scheduleMigration(PageNum vpn)
 {
     manager_.reserveFrame(tenantFor(vpn));
     const std::uint64_t bytes = pcie_compression_.compressedBytes(
@@ -235,14 +344,18 @@ UvmRuntime::scheduleMigration(PageNum vpn)
     Cycle start = 0;
     const Cycle done = pcie_.transfer(PcieDir::HostToDevice, bytes,
                                       events_.now(), &start);
-    if (hooks_.trace) {
-        hooks_.trace->interval(TraceEventType::Migration,
-                               kTraceTrackPcieH2d, start, done, vpn,
-                               static_cast<std::uint32_t>(bytes));
+    if constexpr (observesTrace(M)) {
+        if (hooks_.trace) {
+            hooks_.trace->interval(TraceEventType::Migration,
+                                   kTraceTrackPcieH2d, start, done, vpn,
+                                   static_cast<std::uint32_t>(bytes));
+        }
     }
-    if (hooks_.audit) {
-        hooks_.audit->onMigrationScheduled(vpn, events_.now(), start,
-                                           done, bytes);
+    if constexpr (observesAudit(M)) {
+        if (hooks_.audit) {
+            hooks_.audit->onMigrationScheduled(vpn, events_.now(),
+                                               start, done, bytes);
+        }
     }
     if (!first_transfer_seen_) {
         first_transfer_seen_ = true;
@@ -253,8 +366,9 @@ UvmRuntime::scheduleMigration(PageNum vpn)
     events_.scheduleAt(done, [this, vpn] { onPageArrived(vpn); });
 }
 
+template <ObserverMode M>
 void
-UvmRuntime::pumpMigrations()
+UvmRuntimeT<M>::pumpMigrations()
 {
     while (mig_idx_ < migration_queue_.size()) {
         // The head page's owner also pays for any eviction its
@@ -306,8 +420,9 @@ UvmRuntime::pumpMigrations()
     }
 }
 
+template <ObserverMode M>
 void
-UvmRuntime::onEvictionComplete(PageNum vpn)
+UvmRuntimeT<M>::onEvictionComplete(PageNum vpn)
 {
     manager_.completeEviction(vpn);
     --evictions_in_flight_;
@@ -317,8 +432,9 @@ UvmRuntime::onEvictionComplete(PageNum vpn)
         maybeProactiveEvict();
 }
 
+template <ObserverMode M>
 void
-UvmRuntime::onPageArrived(PageNum vpn)
+UvmRuntimeT<M>::onPageArrived(PageNum vpn)
 {
     const Cycle now = events_.now();
     manager_.commitPage(vpn, now);
@@ -329,8 +445,9 @@ UvmRuntime::onPageArrived(PageNum vpn)
     pumpMigrations();
 }
 
+template <ObserverMode M>
 void
-UvmRuntime::batchEnd()
+UvmRuntimeT<M>::batchEnd()
 {
     current_.end = events_.now();
     if (!first_transfer_seen_) {
@@ -338,15 +455,19 @@ UvmRuntime::batchEnd()
         // handling still consumed runtime time.
         current_.first_transfer = current_.end;
     }
-    if (hooks_.trace) {
-        hooks_.trace->interval(TraceEventType::BatchWindow,
-                               kTraceTrackRuntime, current_.begin,
-                               current_.end, current_.fault_pages,
-                               current_.prefetch_pages);
+    if constexpr (observesTrace(M)) {
+        if (hooks_.trace) {
+            hooks_.trace->interval(TraceEventType::BatchWindow,
+                                   kTraceTrackRuntime, current_.begin,
+                                   current_.end, current_.fault_pages,
+                                   current_.prefetch_pages);
+        }
     }
-    if (hooks_.audit) {
-        hooks_.audit->onBatchEnd(current_.end, current_.fault_pages,
-                                 current_.prefetch_pages);
+    if constexpr (observesAudit(M)) {
+        if (hooks_.audit) {
+            hooks_.audit->onBatchEnd(current_.end, current_.fault_pages,
+                                     current_.prefetch_pages);
+        }
     }
     BAUVM_DLOG("UvmRuntime: batch %llu ends at cycle %llu "
                "(handling %llu, processing %llu cycles)",
@@ -366,7 +487,7 @@ UvmRuntime::batchEnd()
     if (batch_end_cb_)
         batch_end_cb_(records_.back());
 
-    if (!fault_buffer_.empty()) {
+    if (!fault_buffer_store_.empty()) {
         // Waiting faults are handled immediately, skipping the
         // interrupt round trip (the driver's optimization).
         batchBegin();
@@ -376,15 +497,9 @@ UvmRuntime::batchEnd()
     maybeProactiveEvict();
 }
 
+template <ObserverMode M>
 void
-UvmRuntime::enableProactiveEviction(double target)
-{
-    proactive_eviction_ = true;
-    proactive_target_ = target;
-}
-
-void
-UvmRuntime::maybeProactiveEvict()
+UvmRuntimeT<M>::maybeProactiveEvict()
 {
     if (!proactive_eviction_ || manager_.unlimited() ||
         state_ != State::Idle) {
@@ -400,37 +515,10 @@ UvmRuntime::maybeProactiveEvict()
     }
 }
 
-double
-UvmRuntime::averageBatchPages() const
-{
-    if (records_.empty())
-        return 0.0;
-    double sum = 0.0;
-    for (const auto &r : records_)
-        sum += r.fault_pages;
-    return sum / static_cast<double>(records_.size());
-}
-
-double
-UvmRuntime::averageProcessingTime() const
-{
-    if (records_.empty())
-        return 0.0;
-    double sum = 0.0;
-    for (const auto &r : records_)
-        sum += static_cast<double>(r.processingTime());
-    return sum / static_cast<double>(records_.size());
-}
-
-double
-UvmRuntime::averageHandlingTime() const
-{
-    if (records_.empty())
-        return 0.0;
-    double sum = 0.0;
-    for (const auto &r : records_)
-        sum += static_cast<double>(r.handlingTime());
-    return sum / static_cast<double>(records_.size());
-}
+template class UvmRuntimeT<ObserverMode::Dynamic>;
+template class UvmRuntimeT<ObserverMode::None>;
+template class UvmRuntimeT<ObserverMode::Trace>;
+template class UvmRuntimeT<ObserverMode::Audit>;
+template class UvmRuntimeT<ObserverMode::Both>;
 
 } // namespace bauvm

@@ -25,8 +25,23 @@
  * waiter list all live in the shared dense PageMetaTable. Waiter
  * callbacks are pooled in a slab of nodes (InlineFunction storage, free
  * list reuse) linked through PageMeta::waiter_head/tail, and the batch
- * scratch vectors persist across batches — the steady-state fault path
+ * scratch buffers persist across batches — the steady-state fault path
  * performs no heap allocation.
+ *
+ * Batch preprocessing is structure-of-arrays: the fault buffer drains
+ * into a FaultBatch (parallel vpn/cycle/duplicate/tenant arrays), the
+ * residency and accounting passes scan those arrays directly, and the
+ * demand list is ordered by an LSD radix sort on the bounded VPN key
+ * space instead of std::sort — same ascending order, no comparator
+ * calls.
+ *
+ * The class splits along the hot/cold line for observer specialization
+ * (src/check/observer_mode.h): UvmRuntimeBase owns all state, wiring
+ * and queries; UvmRuntimeT<M> adds the fault intake / batch / migration
+ * / eviction path compiled for observer mode M. UvmRuntime aliases the
+ * Dynamic specialization. The PCIe link and prefetcher sub-components
+ * keep their runtime-checked hooks: they fire per transfer / per batch,
+ * not per fault, so they stay off the specialized hot loop.
  */
 
 #ifndef BAUVM_UVM_UVM_RUNTIME_H_
@@ -36,6 +51,7 @@
 #include <functional>
 #include <vector>
 
+#include "src/check/observer_mode.h"
 #include "src/check/sim_hooks.h"
 #include "src/mem/memory_hierarchy.h"
 #include "src/mem/page_meta.h"
@@ -74,8 +90,14 @@ struct BatchRecord {
     }
 };
 
-/** The UVM runtime: fault intake, batching, migration, eviction. */
-class UvmRuntime
+/**
+ * State, wiring and queries of the UVM runtime (mode-independent).
+ *
+ * Everything that is not on the per-fault critical path lives here so
+ * the system, the ETC framework and statistics readers can hold one
+ * UvmRuntimeBase reference regardless of the compiled observer mode.
+ */
+class UvmRuntimeBase
 {
   public:
     /**
@@ -87,33 +109,14 @@ class UvmRuntime
     using WakeFn = InlineFunction<48, void(Cycle)>;
     /** Callback receiving oversubscription advice after each batch. */
     using AdviceFn = std::function<void(OversubAdvice)>;
-
-    /**
-     * @param hooks observers for the runtime and its sub-components
-     *              (fault buffer, PCIe link, prefetcher): batches,
-     *              fault handling, migrations and evictions all emit
-     *              timeline events and feed the model auditor. Must
-     *              not change simulated timing either way.
-     */
-    UvmRuntime(const UvmConfig &config, EventQueue &events,
-               GpuMemoryManager &manager, MemoryHierarchy &hierarchy,
-               const SimHooks &hooks = {});
+    /** Callback fired after every batch completes (ETC epochs hook). */
+    using BatchEndFn = std::function<void(const BatchRecord &)>;
 
     /**
      * Registers @p bytes at @p base as a valid UVM allocation
      * (prefetches never stray outside valid pages).
      */
     void registerAllocation(VAddr base, std::uint64_t bytes);
-
-    /**
-     * Reports a page fault on @p vpn detected at the current cycle;
-     * @p waiter is invoked when the page becomes resident.
-     *
-     * Safe to call for a page that is already in flight (the waiter
-     * simply joins that page's list) or already resident (the waiter is
-     * woken immediately).
-     */
-    void onPageFault(PageNum vpn, WakeFn waiter);
 
     /**
      * Registers the run's tenant directory (multi-tenant runs only):
@@ -130,7 +133,8 @@ class UvmRuntime
      * Indexed by TenantId; unrouted pages fall back to the hierarchy
      * passed at construction.
      */
-    void setTenantHierarchies(std::vector<MemoryHierarchy *> hierarchies)
+    void
+    setTenantHierarchies(std::vector<MemoryHierarchyBase *> hierarchies)
     {
         tenant_hierarchies_ = std::move(hierarchies);
     }
@@ -153,8 +157,6 @@ class UvmRuntime
         return demand_by_[tenant];
     }
 
-    /** Callback fired after every batch completes (ETC epochs hook). */
-    using BatchEndFn = std::function<void(const BatchRecord &)>;
     void setBatchEndCallback(BatchEndFn cb)
     {
         batch_end_cb_ = std::move(cb);
@@ -172,7 +174,7 @@ class UvmRuntime
         return records_;
     }
 
-    const FaultBuffer &faultBuffer() const { return fault_buffer_; }
+    const FaultBufferBase &faultBuffer() const { return *fault_buffer_; }
     PcieLink &pcie() { return pcie_; }
     const PcieLink &pcie() const { return pcie_; }
 
@@ -190,7 +192,7 @@ class UvmRuntime
     /** Average GPU-runtime fault handling time in cycles. */
     double averageHandlingTime() const;
 
-  private:
+  protected:
     enum class State { Idle, InterruptPending, BatchActive };
 
     /** One pooled waiter callback, linked off PageMeta::waiter_head. */
@@ -199,21 +201,24 @@ class UvmRuntime
         std::uint32_t next = PageMeta::kNoIndex;
     };
 
-    void batchBegin();
-    void pumpMigrations();
-    void scheduleMigration(PageNum vpn);
-    /** Launches one eviction; @p earliest constrains the D2H start and
-     *  @p cause attributes it (the tenant that needs the frame). */
-    bool launchEviction(Cycle earliest, TenantId cause = kNoTenant);
-    void onEvictionComplete(PageNum vpn);
-    void onPageArrived(PageNum vpn);
-    void batchEnd();
-    void maybeProactiveEvict();
+    UvmRuntimeBase(const UvmConfig &config, EventQueue &events,
+                   GpuMemoryManager &manager,
+                   MemoryHierarchyBase &hierarchy, const SimHooks &hooks);
+    ~UvmRuntimeBase() = default;
 
     /** Appends @p waiter to @p vpn's intrusive FIFO waiter list. */
     void appendWaiter(PageNum vpn, WakeFn waiter);
     /** Detaches @p vpn's waiter list and invokes it in FIFO order. */
     void wakeWaiters(PageNum vpn, Cycle now);
+
+    /**
+     * Sorts @p keys ascending with an LSD radix sort (8-bit digits,
+     * pass count from the maximum key — VPNs are bounded by the
+     * allocation footprint, so 3-4 passes cover real runs). Produces
+     * exactly std::sort's order on the unique keys a drained batch
+     * holds; the scratch double buffer persists across batches.
+     */
+    void radixSortAscending(std::vector<PageNum> &keys);
 
     /** Owning tenant of @p vpn (kNoTenant with no directory). */
     TenantId tenantFor(PageNum vpn) const
@@ -223,7 +228,7 @@ class UvmRuntime
 
     /** Hierarchy whose TLBs may cache @p vpn (see
      *  setTenantHierarchies). */
-    MemoryHierarchy &hierarchyFor(PageNum vpn)
+    MemoryHierarchyBase &hierarchyFor(PageNum vpn)
     {
         const TenantId owner = tenantFor(vpn);
         if (owner == kNoTenant ||
@@ -237,12 +242,13 @@ class UvmRuntime
     UvmConfig config_;
     EventQueue &events_;
     GpuMemoryManager &manager_;
-    MemoryHierarchy &hierarchy_;
+    MemoryHierarchyBase &hierarchy_;
     const TenantDirectory *dir_ = nullptr;
-    std::vector<MemoryHierarchy *> tenant_hierarchies_;
+    std::vector<MemoryHierarchyBase *> tenant_hierarchies_;
     std::vector<std::uint64_t> demand_by_; //!< per-tenant demand pages
     PageMetaTable &meta_; //!< shared dense page metadata
-    FaultBuffer fault_buffer_;
+    /** The derived class's FaultBufferT<M>, for mode-blind queries. */
+    FaultBufferBase *fault_buffer_ = nullptr;
     PcieLink pcie_;
     CompressionModel pcie_compression_;
     TreePrefetcher prefetcher_;
@@ -255,11 +261,12 @@ class UvmRuntime
     std::vector<WaiterNode> waiter_slab_;
     std::uint32_t waiter_free_ = PageMeta::kNoIndex;
 
-    // Current batch (scratch vectors persist across batches).
-    std::vector<FaultRecord> drained_faults_;
+    // Current batch (scratch buffers persist across batches).
+    FaultBatch drained_batch_;
     std::vector<PageNum> demand_;
     std::vector<PageNum> prefetch_;
     std::vector<PageNum> migration_queue_;
+    std::vector<PageNum> radix_scratch_; //!< radix sort double buffer
     std::size_t mig_idx_ = 0;
     std::uint32_t arrivals_pending_ = 0;
     std::uint32_t evictions_in_flight_ = 0;
@@ -275,6 +282,57 @@ class UvmRuntime
     bool proactive_eviction_ = false;
     double proactive_target_ = 0.95;
 };
+
+/** The UVM runtime: fault intake, batching, migration, eviction. */
+template <ObserverMode M>
+class UvmRuntimeT final : public UvmRuntimeBase
+{
+  public:
+    /**
+     * @param hooks observers for the runtime and its sub-components
+     *              (fault buffer, PCIe link, prefetcher): batches,
+     *              fault handling, migrations and evictions all emit
+     *              timeline events and feed the model auditor. Must
+     *              not change simulated timing either way.
+     */
+    UvmRuntimeT(const UvmConfig &config, EventQueue &events,
+                GpuMemoryManager &manager,
+                MemoryHierarchyBase &hierarchy,
+                const SimHooks &hooks = {});
+
+    /**
+     * Reports a page fault on @p vpn detected at the current cycle;
+     * @p waiter is invoked when the page becomes resident.
+     *
+     * Safe to call for a page that is already in flight (the waiter
+     * simply joins that page's list) or already resident (the waiter is
+     * woken immediately).
+     */
+    void onPageFault(PageNum vpn, WakeFn waiter);
+
+  private:
+    void batchBegin();
+    void pumpMigrations();
+    void scheduleMigration(PageNum vpn);
+    /** Launches one eviction; @p earliest constrains the D2H start and
+     *  @p cause attributes it (the tenant that needs the frame). */
+    bool launchEviction(Cycle earliest, TenantId cause = kNoTenant);
+    void onEvictionComplete(PageNum vpn);
+    void onPageArrived(PageNum vpn);
+    void batchEnd();
+    void maybeProactiveEvict();
+
+    FaultBufferT<M> fault_buffer_store_;
+};
+
+extern template class UvmRuntimeT<ObserverMode::Dynamic>;
+extern template class UvmRuntimeT<ObserverMode::None>;
+extern template class UvmRuntimeT<ObserverMode::Trace>;
+extern template class UvmRuntimeT<ObserverMode::Audit>;
+extern template class UvmRuntimeT<ObserverMode::Both>;
+
+/** Historical name: the runtime-dispatched (Dynamic) specialization. */
+using UvmRuntime = UvmRuntimeT<ObserverMode::Dynamic>;
 
 } // namespace bauvm
 

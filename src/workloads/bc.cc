@@ -124,19 +124,19 @@ class BcWorkload : public GraphWorkloadBase
         for (std::uint64_t e = begin; e < end; e += ctx.warp_size) {
             const std::uint64_t chunk =
                 std::min<std::uint64_t>(ctx.warp_size, end - e);
-            std::vector<VAddr> ea;
+            LaneVec ea;
             for (std::uint64_t i = 0; i < chunk; ++i)
                 ea.push_back(self->d_col_.addr(e + i));
             co_yield WarpOp::load(std::move(ea));
 
-            std::vector<VAddr> la;
+            LaneVec la;
             for (std::uint64_t i = 0; i < chunk; ++i) {
                 la.push_back(
                     self->d_level_.addr(self->d_col_[e + i]));
             }
             co_yield WarpOp::load(std::move(la));
 
-            std::vector<VAddr> sa;
+            LaneVec sa;
             for (std::uint64_t i = 0; i < chunk; ++i) {
                 const VertexId nb = self->d_col_[e + i];
                 if (self->d_level_[nb] == kInf) {
@@ -176,19 +176,19 @@ class BcWorkload : public GraphWorkloadBase
         for (std::uint64_t e = begin; e < end; e += ctx.warp_size) {
             const std::uint64_t chunk =
                 std::min<std::uint64_t>(ctx.warp_size, end - e);
-            std::vector<VAddr> ea;
+            LaneVec ea;
             for (std::uint64_t i = 0; i < chunk; ++i)
                 ea.push_back(self->d_col_.addr(e + i));
             co_yield WarpOp::load(std::move(ea));
 
-            std::vector<VAddr> la;
+            LaneVec la;
             for (std::uint64_t i = 0; i < chunk; ++i) {
                 la.push_back(
                     self->d_level_.addr(self->d_col_[e + i]));
             }
             co_yield WarpOp::load(std::move(la));
 
-            std::vector<VAddr> da;
+            LaneVec da;
             bool any = false;
             for (std::uint64_t i = 0; i < chunk; ++i) {
                 const VertexId nb = self->d_col_[e + i];

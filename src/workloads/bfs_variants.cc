@@ -154,7 +154,7 @@ class BfsWorkload : public GraphWorkloadBase
     {
         const VertexId v_count = self->graph_->numVertices();
         std::vector<VertexId> owned;
-        std::vector<VAddr> a;
+        LaneVec a;
         for (std::uint32_t lane = 0; lane < ctx.laneCount(); ++lane) {
             const VertexId v = ctx.globalThread(lane);
             if (v < v_count) {
@@ -188,7 +188,7 @@ class BfsWorkload : public GraphWorkloadBase
         }
 
         while (true) {
-            std::vector<VAddr> ea;
+            LaneVec ea;
             std::vector<std::size_t> who;
             for (std::size_t i = 0; i < active.size(); ++i) {
                 if (pos[i] < end[i]) {
@@ -200,7 +200,7 @@ class BfsWorkload : public GraphWorkloadBase
                 break;
             co_yield WarpOp::load(std::move(ea));
 
-            std::vector<VAddr> la;
+            LaneVec la;
             std::vector<VertexId> nbrs;
             for (std::size_t i : who) {
                 const VertexId nb = self->d_col_[pos[i]];
@@ -210,7 +210,7 @@ class BfsWorkload : public GraphWorkloadBase
             }
             co_yield WarpOp::load(std::move(la));
 
-            std::vector<VAddr> sa;
+            LaneVec sa;
             for (VertexId nb : nbrs) {
                 if (self->d_level_[nb] == kInf) {
                     self->d_level_[nb] = level + 1;
@@ -250,12 +250,12 @@ class BfsWorkload : public GraphWorkloadBase
         for (std::uint64_t e = begin; e < end; e += ctx.warp_size) {
             const std::uint64_t chunk =
                 std::min<std::uint64_t>(ctx.warp_size, end - e);
-            std::vector<VAddr> ea;
+            LaneVec ea;
             for (std::uint64_t i = 0; i < chunk; ++i)
                 ea.push_back(self->d_col_.addr(e + i));
             co_yield WarpOp::load(std::move(ea));
 
-            std::vector<VAddr> la;
+            LaneVec la;
             std::vector<VertexId> nbrs;
             for (std::uint64_t i = 0; i < chunk; ++i) {
                 const VertexId nb = self->d_col_[e + i];
@@ -264,7 +264,7 @@ class BfsWorkload : public GraphWorkloadBase
             }
             co_yield WarpOp::load(std::move(la));
 
-            std::vector<VAddr> sa;
+            LaneVec sa;
             for (VertexId nb : nbrs) {
                 if (self->d_level_[nb] == kInf) {
                     self->d_level_[nb] = level + 1;
@@ -283,7 +283,7 @@ class BfsWorkload : public GraphWorkloadBase
                  std::uint32_t fsize)
     {
         std::vector<std::uint32_t> slots;
-        std::vector<VAddr> a;
+        LaneVec a;
         for (std::uint32_t lane = 0; lane < ctx.laneCount(); ++lane) {
             const std::uint32_t idx = ctx.globalThread(lane);
             if (idx < fsize) {
@@ -313,7 +313,7 @@ class BfsWorkload : public GraphWorkloadBase
         }
 
         while (true) {
-            std::vector<VAddr> ea;
+            LaneVec ea;
             std::vector<std::size_t> who;
             for (std::size_t i = 0; i < active.size(); ++i) {
                 if (pos[i] < end[i]) {
@@ -325,7 +325,7 @@ class BfsWorkload : public GraphWorkloadBase
                 break;
             co_yield WarpOp::load(std::move(ea));
 
-            std::vector<VAddr> la;
+            LaneVec la;
             std::vector<VertexId> nbrs;
             for (std::size_t i : who) {
                 const VertexId nb = self->d_col_[pos[i]];
@@ -335,7 +335,7 @@ class BfsWorkload : public GraphWorkloadBase
             }
             co_yield WarpOp::load(std::move(la));
 
-            std::vector<VAddr> sa;
+            LaneVec sa;
             for (VertexId nb : nbrs) {
                 if (self->d_level_[nb] == kInf) {
                     self->d_level_[nb] = level + 1;
@@ -357,7 +357,7 @@ class BfsWorkload : public GraphWorkloadBase
     {
         const std::uint64_t e_count = self->graph_->numEdges();
         std::vector<std::uint64_t> edges;
-        std::vector<VAddr> a;
+        LaneVec a;
         for (std::uint32_t lane = 0; lane < ctx.laneCount(); ++lane) {
             const std::uint64_t e = ctx.globalThread(lane);
             if (e < e_count) {
@@ -393,7 +393,7 @@ class BfsWorkload : public GraphWorkloadBase
             a.push_back(self->d_level_.addr(self->d_edst_[e]));
         co_yield WarpOp::load(std::move(a));
 
-        std::vector<VAddr> sa;
+        LaneVec sa;
         for (std::uint64_t e : live) {
             const VertexId dst = self->d_edst_[e];
             if (self->d_level_[dst] == kInf) {

@@ -141,7 +141,7 @@ class HybridBfsWorkload : public GraphWorkloadBase
                 std::uint32_t fsize)
     {
         std::vector<std::uint32_t> slots;
-        std::vector<VAddr> a;
+        LaneVec a;
         for (std::uint32_t lane = 0; lane < ctx.laneCount(); ++lane) {
             const std::uint32_t idx = ctx.globalThread(lane);
             if (idx < fsize) {
@@ -173,7 +173,7 @@ class HybridBfsWorkload : public GraphWorkloadBase
         }
 
         while (true) {
-            std::vector<VAddr> ea;
+            LaneVec ea;
             std::vector<std::size_t> who;
             for (std::size_t i = 0; i < active.size(); ++i) {
                 if (pos[i] < end[i]) {
@@ -185,7 +185,7 @@ class HybridBfsWorkload : public GraphWorkloadBase
                 break;
             co_yield WarpOp::load(std::move(ea));
 
-            std::vector<VAddr> la;
+            LaneVec la;
             std::vector<VertexId> nbrs;
             for (std::size_t i : who) {
                 const VertexId nb = self->d_col_[pos[i]];
@@ -195,7 +195,7 @@ class HybridBfsWorkload : public GraphWorkloadBase
             }
             co_yield WarpOp::load(std::move(la));
 
-            std::vector<VAddr> sa;
+            LaneVec sa;
             for (VertexId nb : nbrs) {
                 if (self->d_level_[nb] == kInf) {
                     self->d_level_[nb] = level + 1;
@@ -219,7 +219,7 @@ class HybridBfsWorkload : public GraphWorkloadBase
     {
         const VertexId v_count = self->graph_->numVertices();
         std::vector<VertexId> owned;
-        std::vector<VAddr> a;
+        LaneVec a;
         for (std::uint32_t lane = 0; lane < ctx.laneCount(); ++lane) {
             const VertexId v = ctx.globalThread(lane);
             if (v < v_count) {
@@ -254,7 +254,7 @@ class HybridBfsWorkload : public GraphWorkloadBase
         }
 
         while (true) {
-            std::vector<VAddr> ea;
+            LaneVec ea;
             std::vector<std::size_t> who;
             for (std::size_t i = 0; i < unvisited.size(); ++i) {
                 if (!found[i] && pos[i] < end[i]) {
@@ -266,7 +266,7 @@ class HybridBfsWorkload : public GraphWorkloadBase
                 break;
             co_yield WarpOp::load(std::move(ea));
 
-            std::vector<VAddr> la;
+            LaneVec la;
             std::vector<std::pair<std::size_t, VertexId>> probes;
             for (std::size_t i : who) {
                 const VertexId nb = self->d_col_[pos[i]];
@@ -276,7 +276,7 @@ class HybridBfsWorkload : public GraphWorkloadBase
             }
             co_yield WarpOp::load(std::move(la));
 
-            std::vector<VAddr> sa;
+            LaneVec sa;
             for (const auto &[i, nb] : probes) {
                 if (!found[i] && self->d_level_[nb] == level) {
                     // First settled parent wins; the lane stops

@@ -95,7 +95,7 @@ class ComponentsWorkload : public GraphWorkloadBase
              std::uint32_t fsize)
     {
         std::vector<std::uint32_t> slots;
-        std::vector<VAddr> a;
+        LaneVec a;
         for (std::uint32_t lane = 0; lane < ctx.laneCount(); ++lane) {
             const std::uint32_t idx = ctx.globalThread(lane);
             if (idx < fsize) {
@@ -131,7 +131,7 @@ class ComponentsWorkload : public GraphWorkloadBase
         }
 
         while (true) {
-            std::vector<VAddr> ea;
+            LaneVec ea;
             std::vector<std::size_t> who;
             for (std::size_t i = 0; i < active.size(); ++i) {
                 if (pos[i] < end[i]) {
@@ -143,7 +143,7 @@ class ComponentsWorkload : public GraphWorkloadBase
                 break;
             co_yield WarpOp::load(std::move(ea));
 
-            std::vector<VAddr> la;
+            LaneVec la;
             std::vector<std::pair<std::size_t, VertexId>> probes;
             for (std::size_t i : who) {
                 const VertexId nb = self->d_col_[pos[i]];
@@ -153,7 +153,7 @@ class ComponentsWorkload : public GraphWorkloadBase
             }
             co_yield WarpOp::load(std::move(la));
 
-            std::vector<VAddr> sa;
+            LaneVec sa;
             for (const auto &[i, nb] : probes) {
                 const std::uint64_t mine =
                     self->d_label_[active[i]];

@@ -125,7 +125,7 @@ class KtrussWorkload : public GraphWorkloadBase
         for (std::uint64_t e = begin; e < end; e += ctx.warp_size) {
             const std::uint64_t chunk =
                 std::min<std::uint64_t>(ctx.warp_size, end - e);
-            std::vector<VAddr> ea;
+            LaneVec ea;
             for (std::uint64_t i = 0; i < chunk; ++i) {
                 ea.push_back(self->d_fwd_col_.addr(e + i));
                 ea.push_back(self->d_alive_.addr(e + i));
@@ -148,14 +148,14 @@ class KtrussWorkload : public GraphWorkloadBase
                  e += ctx.warp_size) {
                 const std::uint64_t chunk =
                     std::min<std::uint64_t>(ctx.warp_size, aend - e);
-                std::vector<VAddr> ea;
+                LaneVec ea;
                 for (std::uint64_t i = 0; i < chunk; ++i) {
                     ea.push_back(self->d_fwd_col_.addr(e + i));
                     ea.push_back(self->d_alive_.addr(e + i));
                 }
                 co_yield WarpOp::load(std::move(ea));
 
-                std::vector<VAddr> sa;
+                LaneVec sa;
                 for (std::uint64_t i = 0; i < chunk; ++i) {
                     const std::uint64_t eidx = e + i;
                     const VertexId x = col[eidx];
@@ -186,7 +186,7 @@ class KtrussWorkload : public GraphWorkloadBase
     {
         const std::uint64_t e_count = self->edges_;
         std::vector<std::uint64_t> owned;
-        std::vector<VAddr> a;
+        LaneVec a;
         for (std::uint32_t lane = 0; lane < ctx.laneCount(); ++lane) {
             const std::uint64_t e = ctx.globalThread(lane);
             if (e < e_count) {
@@ -199,7 +199,7 @@ class KtrussWorkload : public GraphWorkloadBase
             co_return;
         co_yield WarpOp::load(std::move(a));
 
-        std::vector<VAddr> sa;
+        LaneVec sa;
         for (std::uint64_t e : owned) {
             if (self->d_alive_[e] &&
                 self->d_support_[e] < kTrussK - 2) {

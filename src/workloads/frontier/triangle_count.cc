@@ -100,7 +100,7 @@ class TriangleCountWorkload : public GraphWorkloadBase
         const std::uint64_t begin = self->fwd_.row[u];
         const std::uint64_t end = self->fwd_.row[u + 1];
         if (end - begin < 2) {
-            std::vector<VAddr> za;
+            LaneVec za;
             za.push_back(self->d_count_.addr(u));
             co_yield WarpOp::store(std::move(za));
             co_return;
@@ -110,7 +110,7 @@ class TriangleCountWorkload : public GraphWorkloadBase
         for (std::uint64_t e = begin; e < end; e += ctx.warp_size) {
             const std::uint64_t chunk =
                 std::min<std::uint64_t>(ctx.warp_size, end - e);
-            std::vector<VAddr> ea;
+            LaneVec ea;
             for (std::uint64_t i = 0; i < chunk; ++i)
                 ea.push_back(self->d_fwd_col_.addr(e + i));
             co_yield WarpOp::load(std::move(ea));
@@ -130,7 +130,7 @@ class TriangleCountWorkload : public GraphWorkloadBase
                  e += ctx.warp_size) {
                 const std::uint64_t chunk =
                     std::min<std::uint64_t>(ctx.warp_size, aend - e);
-                std::vector<VAddr> ea;
+                LaneVec ea;
                 for (std::uint64_t i = 0; i < chunk; ++i)
                     ea.push_back(self->d_fwd_col_.addr(e + i));
                 co_yield WarpOp::load(std::move(ea));
@@ -144,7 +144,7 @@ class TriangleCountWorkload : public GraphWorkloadBase
             }
         }
         self->d_count_[u] = triangles;
-        std::vector<VAddr> sa;
+        LaneVec sa;
         sa.push_back(self->d_count_.addr(u));
         co_yield WarpOp::store(std::move(sa));
     }

@@ -137,7 +137,7 @@ class GcWorkload : public GraphWorkloadBase
 
     /** The extra load address for the TTC indirection, if any. */
     void
-    appendOwnerLoads(std::uint32_t tid, std::vector<VAddr> *a) const
+    appendOwnerLoads(std::uint32_t tid, LaneVec *a) const
     {
         if (variant_ == "TTC")
             a->push_back(d_order_.addr(tid));
@@ -148,7 +148,7 @@ class GcWorkload : public GraphWorkloadBase
     {
         const VertexId v_count = self->graph_->numVertices();
         std::vector<VertexId> owned;
-        std::vector<VAddr> a;
+        LaneVec a;
         for (std::uint32_t lane = 0; lane < ctx.laneCount(); ++lane) {
             const std::uint32_t tid = ctx.globalThread(lane);
             if (tid < v_count) {
@@ -186,7 +186,7 @@ class GcWorkload : public GraphWorkloadBase
             end.push_back(self->graph_->rowOffsets()[v + 1]);
         }
         while (true) {
-            std::vector<VAddr> ea;
+            LaneVec ea;
             std::vector<std::size_t> who;
             for (std::size_t i = 0; i < active.size(); ++i) {
                 if (pos[i] < end[i]) {
@@ -198,7 +198,7 @@ class GcWorkload : public GraphWorkloadBase
                 break;
             co_yield WarpOp::load(std::move(ea));
 
-            std::vector<VAddr> ca;
+            LaneVec ca;
             std::vector<std::pair<std::size_t, VertexId>> nbrs;
             for (std::size_t i : who) {
                 const VertexId nb = self->d_col_[pos[i]];
@@ -213,7 +213,7 @@ class GcWorkload : public GraphWorkloadBase
             }
         }
 
-        std::vector<VAddr> sa;
+        LaneVec sa;
         for (std::size_t i = 0; i < active.size(); ++i) {
             std::uint32_t c = 0;
             while (used[i].count(c))
@@ -233,7 +233,7 @@ class GcWorkload : public GraphWorkloadBase
     {
         const VertexId v_count = self->graph_->numVertices();
         std::vector<VertexId> owned;
-        std::vector<VAddr> a;
+        LaneVec a;
         for (std::uint32_t lane = 0; lane < ctx.laneCount(); ++lane) {
             const std::uint32_t tid = ctx.globalThread(lane);
             if (tid < v_count) {
@@ -270,7 +270,7 @@ class GcWorkload : public GraphWorkloadBase
             end.push_back(self->graph_->rowOffsets()[v + 1]);
         }
         while (true) {
-            std::vector<VAddr> ea;
+            LaneVec ea;
             std::vector<std::size_t> who;
             for (std::size_t i = 0; i < active.size(); ++i) {
                 if (pos[i] < end[i]) {
@@ -282,7 +282,7 @@ class GcWorkload : public GraphWorkloadBase
                 break;
             co_yield WarpOp::load(std::move(ea));
 
-            std::vector<VAddr> ta;
+            LaneVec ta;
             std::vector<std::pair<std::size_t, VertexId>> nbrs;
             for (std::size_t i : who) {
                 const VertexId nb = self->d_col_[pos[i]];
@@ -307,7 +307,7 @@ class GcWorkload : public GraphWorkloadBase
             }
         }
 
-        std::vector<VAddr> sa;
+        LaneVec sa;
         for (std::size_t i = 0; i < active.size(); ++i) {
             if (!loses[i]) {
                 self->d_color_[active[i]] =

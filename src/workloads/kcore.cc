@@ -96,7 +96,7 @@ class KcoreWorkload : public GraphWorkloadBase
     {
         const VertexId v_count = self->graph_->numVertices();
         std::vector<VertexId> owned;
-        std::vector<VAddr> a;
+        LaneVec a;
         for (std::uint32_t lane = 0; lane < ctx.laneCount(); ++lane) {
             const VertexId v = ctx.globalThread(lane);
             if (v < v_count) {
@@ -117,7 +117,7 @@ class KcoreWorkload : public GraphWorkloadBase
         if (removing.empty())
             co_return;
 
-        std::vector<VAddr> sa;
+        LaneVec sa;
         for (VertexId v : removing) {
             self->d_core_[v] = k;
             --self->alive_;
@@ -140,7 +140,7 @@ class KcoreWorkload : public GraphWorkloadBase
             end.push_back(self->graph_->rowOffsets()[v + 1]);
         }
         while (true) {
-            std::vector<VAddr> ea;
+            LaneVec ea;
             std::vector<std::size_t> who;
             for (std::size_t i = 0; i < removing.size(); ++i) {
                 if (pos[i] < end[i]) {
@@ -152,7 +152,7 @@ class KcoreWorkload : public GraphWorkloadBase
                 break;
             co_yield WarpOp::load(std::move(ea));
 
-            std::vector<VAddr> da;
+            LaneVec da;
             std::vector<VertexId> nbrs;
             for (std::size_t i : who) {
                 const VertexId nb = self->d_col_[pos[i]];
@@ -163,7 +163,7 @@ class KcoreWorkload : public GraphWorkloadBase
             }
             co_yield WarpOp::load(std::move(da));
 
-            std::vector<VAddr> ua;
+            LaneVec ua;
             for (VertexId nb : nbrs) {
                 if (self->d_core_[nb] == kInf &&
                     self->d_degree_[nb] > 0) {

@@ -90,7 +90,7 @@ class PageRankWorkload : public GraphWorkloadBase
     {
         const VertexId v_count = self->graph_->numVertices();
         std::vector<VertexId> owned;
-        std::vector<VAddr> a;
+        LaneVec a;
         for (std::uint32_t lane = 0; lane < ctx.laneCount(); ++lane) {
             const VertexId v = ctx.globalThread(lane);
             if (v < v_count) {
@@ -104,7 +104,7 @@ class PageRankWorkload : public GraphWorkloadBase
             co_return;
         co_yield WarpOp::load(std::move(a));
 
-        std::vector<VAddr> sa;
+        LaneVec sa;
         for (VertexId v : owned) {
             const auto deg = self->graph_->degree(v);
             self->d_contrib_[v] =
@@ -133,12 +133,12 @@ class PageRankWorkload : public GraphWorkloadBase
         for (std::uint64_t e = begin; e < end; e += ctx.warp_size) {
             const std::uint64_t chunk =
                 std::min<std::uint64_t>(ctx.warp_size, end - e);
-            std::vector<VAddr> ea;
+            LaneVec ea;
             for (std::uint64_t i = 0; i < chunk; ++i)
                 ea.push_back(self->d_col_.addr(e + i));
             co_yield WarpOp::load(std::move(ea));
 
-            std::vector<VAddr> ca;
+            LaneVec ca;
             for (std::uint64_t i = 0; i < chunk; ++i) {
                 ca.push_back(
                     self->d_contrib_.addr(self->d_col_[e + i]));

@@ -168,7 +168,7 @@ class RegularWorkload : public Workload
             (tile + ctx.threads_per_block - 1) / ctx.threads_per_block;
 
         for (std::size_t step_i = 0; step_i < per_thread; ++step_i) {
-            std::vector<VAddr> la;
+            LaneVec la;
             std::vector<std::size_t> idxs;
             for (std::uint32_t lane = 0; lane < ctx.laneCount();
                  ++lane) {
@@ -192,7 +192,7 @@ class RegularWorkload : public Workload
             if (self->spec_.compute_cycles > 0)
                 co_yield WarpOp::compute(self->spec_.compute_cycles);
 
-            std::vector<VAddr> sa;
+            LaneVec sa;
             for (std::size_t i : idxs) {
                 const std::size_t local = i - base;
                 const std::size_t j =

@@ -107,19 +107,19 @@ class SsspWorkload : public GraphWorkloadBase
         for (std::uint64_t e = begin; e < end; e += ctx.warp_size) {
             const std::uint64_t chunk =
                 std::min<std::uint64_t>(ctx.warp_size, end - e);
-            std::vector<VAddr> ea;
+            LaneVec ea;
             for (std::uint64_t i = 0; i < chunk; ++i) {
                 ea.push_back(self->d_col_.addr(e + i));
                 ea.push_back(self->d_weight_.addr(e + i));
             }
             co_yield WarpOp::load(std::move(ea));
 
-            std::vector<VAddr> da;
+            LaneVec da;
             for (std::uint64_t i = 0; i < chunk; ++i)
                 da.push_back(self->d_dist_.addr(self->d_col_[e + i]));
             co_yield WarpOp::load(std::move(da));
 
-            std::vector<VAddr> ua;
+            LaneVec ua;
             for (std::uint64_t i = 0; i < chunk; ++i) {
                 const VertexId nb = self->d_col_[e + i];
                 const std::uint32_t w = self->graph_->weights()[e + i];

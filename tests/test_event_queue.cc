@@ -8,7 +8,9 @@
 #include <vector>
 
 #include "src/sim/event_queue.h"
+#ifdef BAUVM_LEGACY_DIFFERENTIAL
 #include "src/sim/legacy_event_queue.h"
+#endif // BAUVM_LEGACY_DIFFERENTIAL
 #include "src/sim/rng.h"
 
 namespace bauvm
@@ -288,6 +290,7 @@ runDifferentialScript()
     return order;
 }
 
+#ifdef BAUVM_LEGACY_DIFFERENTIAL
 TEST(EventQueue, MatchesLegacyKernelOnRandomScript)
 {
     const auto fast = runDifferentialScript<EventQueue>();
@@ -295,6 +298,7 @@ TEST(EventQueue, MatchesLegacyKernelOnRandomScript)
     ASSERT_FALSE(fast.empty());
     EXPECT_EQ(fast, legacy);
 }
+#endif // BAUVM_LEGACY_DIFFERENTIAL
 
 } // namespace
 } // namespace bauvm

@@ -166,9 +166,9 @@ TEST(WarpProgram, LaneHelpers)
 
 TEST(WarpOp, KindPredicates)
 {
-    EXPECT_TRUE(WarpOp::load({}).isMemory());
-    EXPECT_TRUE(WarpOp::store({}).isMemory());
-    EXPECT_TRUE(WarpOp::atomic({}).isMemory());
+    EXPECT_TRUE(WarpOp::load(LaneVec{}).isMemory());
+    EXPECT_TRUE(WarpOp::store(LaneVec{}).isMemory());
+    EXPECT_TRUE(WarpOp::atomic(LaneVec{}).isMemory());
     EXPECT_FALSE(WarpOp::compute(1).isMemory());
     EXPECT_FALSE(WarpOp::sync().isMemory());
 }

@@ -14,6 +14,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <new>
+#include <thread>
 
 #include "src/mem/memory_hierarchy.h"
 #include "src/sim/event_queue.h"
@@ -78,10 +79,11 @@ namespace
  * schedules the next fault one cycle later (the SM replay shape)
  * until the round's budget is spent.
  */
+template <typename Runtime>
 class FaultLoop
 {
   public:
-    FaultLoop(UvmRuntime &rt, EventQueue &q) : rt_(rt), q_(q) {}
+    FaultLoop(Runtime &rt, EventQueue &q) : rt_(rt), q_(q) {}
 
     /** Runs one round of @p faults faults; returns waiters woken. */
     std::uint64_t
@@ -115,11 +117,57 @@ class FaultLoop
         });
     }
 
-    UvmRuntime &rt_;
+    Runtime &rt_;
     EventQueue &q_;
     std::uint64_t budget_ = 0;
     std::uint64_t issued_ = 0;
     std::uint64_t woken_ = 0;
+};
+
+/**
+ * One independent fault-loop stack — the per-unit state an intra-cell
+ * worker thread owns. Warm-up mirrors the single-threaded test.
+ */
+template <ObserverMode M>
+struct LoopStack {
+    UvmConfig config;
+    EventQueue events;
+    GpuMemoryManager manager;
+    MemoryHierarchyT<M> hierarchy;
+    UvmRuntimeT<M> runtime;
+    FaultLoop<UvmRuntimeT<M>> loop;
+
+    LoopStack()
+        : config(makeConfig()), manager(config, /*capacity_pages=*/8),
+          hierarchy(MemConfig{}, 1, config.page_bytes,
+                    manager.pageTable()),
+          runtime(config, events, manager, hierarchy),
+          loop(runtime, events)
+    {
+        runtime.registerAllocation(0, 64 * config.page_bytes);
+    }
+
+    static UvmConfig
+    makeConfig()
+    {
+        UvmConfig c;
+        c.root_chunk_pages = 4;
+        return c;
+    }
+
+    void
+    warmUp(std::uint64_t faults)
+    {
+        loop.run(faults);
+        const std::uint64_t before = runtime.batches();
+        loop.run(faults);
+        const std::uint64_t per_round = runtime.batches() - before;
+        ASSERT_GT(per_round, 0u);
+        while (runtime.batchRecords().capacity() -
+                   runtime.batchRecords().size() <
+               2 * per_round + 8)
+            loop.run(faults);
+    }
 };
 
 TEST(MemAlloc, SteadyStateFaultPathIsAllocationFree)
@@ -133,7 +181,7 @@ TEST(MemAlloc, SteadyStateFaultPathIsAllocationFree)
     UvmRuntime runtime(config, events, manager, hierarchy);
     runtime.registerAllocation(0, 64 * config.page_bytes);
 
-    FaultLoop loop(runtime, events);
+    FaultLoop<UvmRuntime> loop(runtime, events);
     const std::uint64_t kFaults = 512;
 
     // Warm-up: grow the metadata table, waiter slab, batch scratch and
@@ -166,6 +214,56 @@ TEST(MemAlloc, SteadyStateFaultPathIsAllocationFree)
         << "steady-state fault/migrate/evict/wake must not allocate";
     EXPECT_EQ(UvmRuntime::WakeFn::heapFallbacks(), fallbacks_before)
         << "waiter captures within the inline budget must stay inline";
+}
+
+/**
+ * The observer-specialized {None} variant — the one a hookless sweep
+ * cell actually instantiates — must stay allocation-free in steady
+ * state even when two intra-cell worker threads drive independent
+ * stacks concurrently (the --cell-threads shape). The global
+ * operator-new hook counts allocations process-wide, so a single
+ * stray allocation on either worker fails the test.
+ */
+TEST(MemAlloc, SpecializedNonePathIsAllocationFreeOnTwoThreads)
+{
+    constexpr std::uint64_t kFaults = 512;
+    LoopStack<ObserverMode::None> stacks[2];
+    stacks[0].warmUp(kFaults);
+    stacks[1].warmUp(kFaults);
+
+    const std::uint64_t fallbacks_before =
+        UvmRuntimeBase::WakeFn::heapFallbacks();
+    std::atomic<int> ready{0};
+    std::atomic<bool> go{false};
+    std::atomic<std::uint64_t> woken[2] = {{0}, {0}};
+    auto worker = [&](int u) {
+        // Thread startup may allocate; counting begins only once both
+        // workers sit in this spin loop.
+        ready.fetch_add(1);
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        woken[u].store(stacks[u].loop.run(kFaults));
+    };
+    std::thread t0(worker, 0);
+    std::thread t1(worker, 1);
+    while (ready.load() != 2) {
+    }
+    g_allocs.store(0);
+    g_counting.store(true);
+    go.store(true, std::memory_order_release);
+    t0.join();
+    t1.join();
+    g_counting.store(false);
+
+    for (int u = 0; u < 2; ++u) {
+        EXPECT_EQ(woken[u].load(), kFaults) << "worker " << u;
+        EXPECT_GT(stacks[u].manager.evictions(), 0u)
+            << "worker " << u << " must run under pressure";
+    }
+    EXPECT_EQ(g_allocs.load(), 0u)
+        << "specialized {None} steady state must not allocate on "
+           "either worker";
+    EXPECT_EQ(UvmRuntimeBase::WakeFn::heapFallbacks(), fallbacks_before);
 }
 
 } // namespace

@@ -33,7 +33,9 @@
 #include "src/trace/trace_sink.h"
 #include "src/uvm/fault_buffer.h"
 #include "src/uvm/gpu_memory_manager.h"
+#ifdef BAUVM_LEGACY_DIFFERENTIAL
 #include "src/uvm/legacy_mem_path.h"
+#endif // BAUVM_LEGACY_DIFFERENTIAL
 #include "src/uvm/prefetcher.h"
 #include "src/uvm/uvm_runtime.h"
 #include "src/workloads/workload_registry.h"
@@ -135,6 +137,8 @@ TEST(UvmRuntimeWaiters, WakeInFifoRegistrationOrder)
 }
 
 // ---------------------------------------- randomized differential LRU
+
+#ifdef BAUVM_LEGACY_DIFFERENTIAL
 
 class ManagerDifferential
     : public ::testing::TestWithParam<std::uint32_t>
@@ -373,6 +377,8 @@ TEST(PrefetcherDifferential, SequentialPolicyMatchesLegacy)
             << "round " << round;
     }
 }
+
+#endif // BAUVM_LEGACY_DIFFERENTIAL
 
 } // namespace
 } // namespace bauvm
